@@ -1,0 +1,143 @@
+// Experiments X51/X53 (Theorems 5.1/5.3): containment and relative
+// containment with comparison predicates. The complete linearization test
+// is exponential in the variable count (ordered Bell numbers); the
+// homomorphism-entailment fast path — complete for semi-interval
+// constraints, the fragment Theorem 5.1 covers — stays polynomial-ish.
+// This is also the ablation DESIGN.md calls out: run both tests on the
+// same instances and compare.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "containment/comparison_containment.h"
+#include "datalog/parser.h"
+#include "relcont/relative_containment.h"
+
+namespace relcont {
+namespace {
+
+// Semi-interval query pair with n compared variables.
+void MakeSemiIntervalPair(int n, Interner* interner, Rule* q1, Rule* q2) {
+  std::string body1 = "q(X0) :- ", body2 = "q(X0) :- ";
+  for (int i = 0; i < n; ++i) {
+    std::string v = "X" + std::to_string(i);
+    if (i > 0) {
+      body1 += ", ";
+      body2 += ", ";
+    }
+    std::string atom =
+        "p(" + v + ", X" + std::to_string((i + 1) % n) + ")";
+    body1 += atom;
+    body2 += atom;
+    body1 += ", " + v + " < 5";
+    body2 += ", " + v + " < 10";
+  }
+  *q1 = *ParseRule(body1 + ".", interner);
+  *q2 = *ParseRule(body2 + ".", interner);
+}
+
+void BM_Comparison_EntailmentFastPath(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Interner interner;
+  Rule q1, q2;
+  MakeSemiIntervalPair(n, &interner, &q1, &q2);
+  for (auto _ : state) {
+    Result<bool> r = CqContainedViaEntailment(q1, q2);
+    if (!r.ok() || !*r) state.SkipWithError("wrong answer");
+  }
+  state.counters["vars"] = n;
+}
+BENCHMARK(BM_Comparison_EntailmentFastPath)->DenseRange(2, 7);
+
+void BM_Comparison_CompleteLinearizationTest(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Interner interner;
+  Rule q1, q2;
+  MakeSemiIntervalPair(n, &interner, &q1, &q2);
+  // Force the linearization path by asking a question the fast path
+  // rejects: containment in a case-split union.
+  UnionQuery split;
+  split.disjuncts.push_back(
+      *ParseRule("q(X0) :- p(X0, X1), X0 <= X1.", &interner));
+  split.disjuncts.push_back(
+      *ParseRule("q(X0) :- p(X0, X1), X0 >= X1.", &interner));
+  Rule plain = *ParseRule("q(X0) :- p(X0, X1).", &interner);
+  // Pad the left query with extra variables to grow the point set.
+  for (int i = 1; i < n; ++i) {
+    Atom extra;
+    extra.predicate = interner.Intern("p");
+    extra.args.push_back(Term::Var(interner.Intern("X" + std::to_string(i))));
+    extra.args.push_back(
+        Term::Var(interner.Intern("X" + std::to_string(i + 1))));
+    plain.body.push_back(extra);
+  }
+  for (auto _ : state) {
+    Result<bool> r = CqContainedInUnionComplete(plain, split);
+    if (!r.ok() || !*r) state.SkipWithError("wrong answer");
+  }
+  state.counters["vars"] = n + 1;
+}
+BENCHMARK(BM_Comparison_CompleteLinearizationTest)->DenseRange(1, 5);
+
+// Theorem 5.1: relative containment with semi-interval views, sweeping the
+// number of interval sources.
+void BM_Comparison_RelativeSemiInterval(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Interner interner;
+  std::string views_text;
+  for (int i = 0; i < k; ++i) {
+    int lo = i * 10, hi = i * 10 + 15;  // overlapping bands
+    views_text += "band" + std::to_string(i) + "(X, P) :- item(X, P), P >= " +
+                  std::to_string(lo) + ", P < " + std::to_string(hi) + ".\n";
+  }
+  ViewSet views = *ParseViews(views_text, &interner);
+  GoalQuery all{*ParseProgram("qa(X) :- item(X, P).", &interner),
+                interner.Lookup("qa")};
+  GoalQuery low{*ParseProgram("ql(X) :- item(X, P), P < 100.", &interner),
+                interner.Lookup("ql")};
+  for (auto _ : state) {
+    Result<RelativeContainmentResult> r =
+        RelativelyContainedWithComparisons(all, low, views, &interner);
+    if (!r.ok()) {
+      state.SkipWithError("failed");
+      return;
+    }
+  }
+  state.counters["interval_sources"] = k;
+}
+BENCHMARK(BM_Comparison_RelativeSemiInterval)->DenseRange(1, 5);
+
+// Theorem 5.3: comparison-free Q1 against a Q2 with comparisons, via the
+// expansion reduction.
+void BM_Comparison_ExpansionRoute(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Interner interner;
+  std::string views_text;
+  for (int i = 0; i < k; ++i) {
+    views_text += "cheap" + std::to_string(i) +
+                  "(X, P) :- item(X, P), P < " + std::to_string(10 * (i + 1)) +
+                  ".\n";
+  }
+  ViewSet views = *ParseViews(views_text, &interner);
+  GoalQuery all{*ParseProgram("qa(X) :- item(X, P).", &interner),
+                interner.Lookup("qa")};
+  GoalQuery bounded{*ParseProgram(
+                        "qb(X) :- item(X, P), P < " +
+                            std::to_string(10 * k) + ".",
+                        &interner),
+                    interner.Lookup("qb")};
+  for (auto _ : state) {
+    Result<bool> r =
+        RelativelyContainedViaExpansion(all, bounded, views, &interner);
+    if (!r.ok() || !*r) {
+      state.SkipWithError("wrong answer");
+      return;
+    }
+  }
+  state.counters["sources"] = k;
+}
+BENCHMARK(BM_Comparison_ExpansionRoute)->DenseRange(1, 6);
+
+}  // namespace
+}  // namespace relcont

@@ -1,0 +1,92 @@
+// Experiment S1 (substrate): classical conjunctive-query containment
+// (Chandra–Merlin). Containment is NP-complete; the family below shows
+// where the backtracking search is easy (chains, stars) and where it
+// degrades (self-join-heavy random queries).
+
+#include <benchmark/benchmark.h>
+
+#include "containment/cq_containment.h"
+#include "relcont/workload.h"
+
+namespace relcont {
+namespace {
+
+// Boolean chain folding: chain(2n) ⊑ chain(n) needs a folding hom.
+void BM_CqContainment_BooleanChains(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Interner interner;
+  Rule shorter = ChainQuery(n, "g", "e", &interner);
+  Rule longer = ChainQuery(2 * n, "g", "e", &interner);
+  shorter.head.args.clear();
+  longer.head.args.clear();
+  for (auto _ : state) {
+    Result<bool> r = CqContained(longer, shorter);
+    if (!r.ok() || !*r) state.SkipWithError("wrong answer");
+  }
+  state.counters["atoms"] = 2 * n;
+}
+BENCHMARK(BM_CqContainment_BooleanChains)->RangeMultiplier(2)->Range(2, 32);
+
+void BM_CqContainment_Stars(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Interner interner;
+  Rule small = StarQuery(1, "g", "e", &interner);
+  Rule big = StarQuery(n, "g", "e", &interner);
+  for (auto _ : state) {
+    Result<bool> r = CqContained(small, big);
+    if (!r.ok() || !*r) state.SkipWithError("wrong answer");
+  }
+  state.counters["rays"] = n;
+}
+BENCHMARK(BM_CqContainment_Stars)->RangeMultiplier(2)->Range(2, 64);
+
+// Random self-join-heavy queries over one predicate: the hard regime.
+void BM_CqContainment_RandomSelfJoins(benchmark::State& state) {
+  int atoms = static_cast<int>(state.range(0));
+  Interner interner;
+  RandomQueryOptions opts;
+  opts.num_atoms = atoms;
+  opts.num_variables = atoms;  // sparse sharing
+  opts.num_predicates = 1;
+  opts.constant_probability = 0.0;
+  opts.head_arity = 0;
+  opts.seed = 12345;
+  Rule q1 = RandomConjunctiveQuery(opts, "g1", &interner);
+  opts.seed = 54321;
+  Rule q2 = RandomConjunctiveQuery(opts, "g2", &interner);
+  for (auto _ : state) {
+    Result<bool> r = CqContained(q1, q2);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["atoms"] = atoms;
+}
+BENCHMARK(BM_CqContainment_RandomSelfJoins)->DenseRange(2, 12, 2);
+
+// Union containment (Sagiv–Yannakakis): disjunct count scaling.
+void BM_UnionContainment_Disjuncts(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Interner interner;
+  UnionQuery u1, u2;
+  RandomQueryOptions opts;
+  opts.num_atoms = 3;
+  opts.num_variables = 3;
+  opts.num_predicates = 2;
+  opts.head_arity = 1;
+  for (int i = 0; i < k; ++i) {
+    opts.seed = 100 + i;
+    u1.disjuncts.push_back(RandomConjunctiveQuery(opts, "g", &interner));
+    opts.seed = 200 + i;
+    u2.disjuncts.push_back(RandomConjunctiveQuery(opts, "g", &interner));
+    // Make u2 a superset of u1 so containment holds.
+    u2.disjuncts.push_back(u1.disjuncts.back());
+  }
+  for (auto _ : state) {
+    Result<bool> r = UnionContainedInUnion(u1, u2);
+    if (!r.ok() || !*r) state.SkipWithError("wrong answer");
+  }
+  state.counters["disjuncts"] = k;
+}
+BENCHMARK(BM_UnionContainment_Disjuncts)->RangeMultiplier(2)->Range(2, 32);
+
+}  // namespace
+}  // namespace relcont

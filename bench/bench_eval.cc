@@ -1,0 +1,102 @@
+// Experiment S1 (substrate): bottom-up evaluation. Datalog has polynomial
+// data complexity; certain-answer computation through inverse-rule plans
+// inherits it (Abiteboul–Duschka). The sweeps below exhibit the polynomial
+// shape on growing source instances.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.h"
+#include "eval/evaluator.h"
+#include "relcont/certain_answers.h"
+#include "relcont/workload.h"
+
+namespace relcont {
+namespace {
+
+// Transitive closure over random graphs: the classical semi-naive stress.
+void BM_Eval_TransitiveClosure(benchmark::State& state) {
+  int edges = static_cast<int>(state.range(0));
+  Interner interner;
+  Program tc = *ParseProgram(
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+      &interner);
+  Database graph =
+      RandomGraph("e", /*num_nodes=*/edges / 4 + 2, edges, 99, &interner);
+  int64_t derived = 0;
+  for (auto _ : state) {
+    Result<EvalResult> r = Evaluate(tc, graph);
+    if (!r.ok()) {
+      state.SkipWithError("evaluation failed");
+      return;
+    }
+    derived = r->database.TotalFacts();
+  }
+  state.counters["edges"] = edges;
+  state.counters["facts"] = static_cast<double>(derived);
+}
+BENCHMARK(BM_Eval_TransitiveClosure)->RangeMultiplier(2)->Range(32, 1024);
+
+// Certain answers through an inverse-rule plan, sweeping instance size:
+// polynomial data complexity (the paper relies on [AD98] for this).
+void BM_Eval_CertainAnswersDataComplexity(benchmark::State& state) {
+  int facts = static_cast<int>(state.range(0));
+  Interner interner;
+  ViewSet views = *ParseViews(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(Y, Z) :- r(Y, Z).\n"
+      "v3(X) :- p(X, X).\n",
+      &interner);
+  Program q = *ParseProgram("q(X, Z) :- p(X, Y), r(Y, Z).", &interner);
+  SymbolId goal = interner.Lookup("q");
+  Database inst =
+      RandomInstance(views, facts, /*domain_size=*/facts / 4 + 2, 7,
+                     &interner);
+  int64_t answers = 0;
+  for (auto _ : state) {
+    Result<std::vector<Tuple>> r =
+        CertainAnswers(q, goal, views, inst, &interner);
+    if (!r.ok()) {
+      state.SkipWithError("failed");
+      return;
+    }
+    answers = static_cast<int64_t>(r->size());
+  }
+  state.counters["facts"] = facts;
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_Eval_CertainAnswersDataComplexity)
+    ->RangeMultiplier(2)
+    ->Range(32, 2048);
+
+// Recursive executable plans (Section 4) on growing chain instances: the
+// dom accumulator makes evaluation quadratic-ish but still polynomial.
+void BM_Eval_RecursiveDomPlan(benchmark::State& state) {
+  int length = static_cast<int>(state.range(0));
+  Interner interner;
+  Program plan = *ParseProgram(
+      "q(Y) :- link(X, Y).\n"
+      "link(X, Y) :- dom(X), next(X, Y).\n"
+      "dom(B) :- seed(B).\n"
+      "dom(Y) :- dom(X), next(X, Y).\n",
+      &interner);
+  std::string facts = "seed(n0).";
+  for (int i = 0; i < length; ++i) {
+    facts += " next(n" + std::to_string(i) + ", n" + std::to_string(i + 1) +
+             ").";
+  }
+  Database inst = *ParseDatabase(facts, &interner);
+  for (auto _ : state) {
+    Result<std::vector<Tuple>> r =
+        EvaluateGoal(plan, interner.Lookup("q"), inst);
+    if (!r.ok() || r->size() != static_cast<size_t>(length)) {
+      state.SkipWithError("wrong answers");
+      return;
+    }
+  }
+  state.counters["chain"] = length;
+}
+BENCHMARK(BM_Eval_RecursiveDomPlan)->RangeMultiplier(2)->Range(16, 512);
+
+}  // namespace
+}  // namespace relcont

@@ -1,0 +1,79 @@
+// Experiment X33 (Theorem 3.3): relative containment on the ∀∃-3CNF
+// hard-instance family. The paper proves Π₂ᴾ-completeness; the measurable
+// shape is exponential growth in the number of universal variables m (the
+// unfolded plans have 2^m disjuncts and the containment check compares
+// them pairwise), against polynomial growth in the clause count.
+
+#include <benchmark/benchmark.h>
+
+#include "relcont/pi2p_reduction.h"
+
+namespace relcont {
+namespace {
+
+// Sweep the universal-variable count m: expect ~4^m growth.
+void BM_Pi2p_SweepForall(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  Interner interner;
+  QbfFormula f = RandomQbf(/*num_exists=*/3, m, /*num_clauses=*/4,
+                           /*seed=*/7);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+  if (!inst.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  bool expected = ForallExistsSatisfiable(f);
+  for (auto _ : state) {
+    Result<RelativeContainmentResult> r =
+        RelativelyContained(inst->q2, inst->q1, inst->views, &interner);
+    if (!r.ok() || r->contained != expected) {
+      state.SkipWithError("wrong answer");
+      return;
+    }
+  }
+  state.counters["forall_vars"] = m;
+  state.counters["plan_disjuncts"] = static_cast<double>(1) * (1 << m);
+}
+BENCHMARK(BM_Pi2p_SweepForall)->DenseRange(1, 6);
+
+// Sweep the clause count p at fixed m: expect polynomial growth (each
+// disjunct pair needs one containment-mapping search whose size grows
+// with p).
+void BM_Pi2p_SweepClauses(benchmark::State& state) {
+  int p = static_cast<int>(state.range(0));
+  Interner interner;
+  QbfFormula f = RandomQbf(/*num_exists=*/3, /*num_forall=*/2, p,
+                           /*seed=*/11);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+  if (!inst.ok()) {
+    state.SkipWithError("reduction failed");
+    return;
+  }
+  bool expected = ForallExistsSatisfiable(f);
+  for (auto _ : state) {
+    Result<RelativeContainmentResult> r =
+        RelativelyContained(inst->q2, inst->q1, inst->views, &interner);
+    if (!r.ok() || r->contained != expected) {
+      state.SkipWithError("wrong answer");
+      return;
+    }
+  }
+  state.counters["clauses"] = p;
+}
+BENCHMARK(BM_Pi2p_SweepClauses)->DenseRange(2, 10, 2);
+
+// The brute-force ∀∃ oracle, for scale comparison: also exponential in m,
+// but over truth assignments rather than containment mappings.
+void BM_Pi2p_BruteForceOracle(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  QbfFormula f = RandomQbf(/*num_exists=*/3, m, /*num_clauses=*/4,
+                           /*seed=*/7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ForallExistsSatisfiable(f));
+  }
+  state.counters["forall_vars"] = m;
+}
+BENCHMARK(BM_Pi2p_BruteForceOracle)->DenseRange(1, 6);
+
+}  // namespace
+}  // namespace relcont

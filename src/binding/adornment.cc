@@ -1,0 +1,135 @@
+#include "binding/adornment.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace relcont {
+
+Result<Adornment> Adornment::Parse(std::string_view text) {
+  Adornment out;
+  for (char c : text) {
+    if (c == 'b') {
+      out.bound_.push_back(true);
+    } else if (c == 'f') {
+      out.bound_.push_back(false);
+    } else {
+      return Status::InvalidArgument(
+          "adornment characters must be 'b' or 'f'");
+    }
+  }
+  return out;
+}
+
+Adornment Adornment::AllFree(int arity) {
+  Adornment out;
+  out.bound_.assign(arity, false);
+  return out;
+}
+
+bool Adornment::HasBoundPosition() const {
+  return std::find(bound_.begin(), bound_.end(), true) != bound_.end();
+}
+
+std::string Adornment::ToString() const {
+  std::string out;
+  for (bool b : bound_) out += b ? 'b' : 'f';
+  return out;
+}
+
+namespace {
+
+void CollectTermVars(const Term& t, std::unordered_set<SymbolId>* out) {
+  std::vector<SymbolId> vars;
+  t.CollectVars(&vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+}  // namespace
+
+namespace {
+
+// Definition 4.1 for one adornment: every bound position holds a constant
+// or a variable already seen to its left.
+bool AtomExecutableUnder(const Atom& atom, const Adornment& adornment,
+                         const std::unordered_set<SymbolId>& seen) {
+  std::unordered_set<SymbolId> local = seen;
+  for (int i = 0; i < atom.arity(); ++i) {
+    const Term& t = atom.args[i];
+    if (i < adornment.arity() && adornment.IsBound(i)) {
+      if (t.is_variable() && local.count(t.symbol()) == 0) return false;
+      if (t.is_function()) return false;  // Skolem values cannot be sent
+    }
+    CollectTermVars(t, &local);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsRuleExecutable(const Rule& rule, const BindingPatterns& patterns) {
+  std::unordered_set<SymbolId> seen;
+  for (const Atom& atom : rule.body) {
+    const std::vector<Adornment>* alternatives = patterns.Find(atom.predicate);
+    if (alternatives != nullptr) {
+      // With multiple access patterns, any satisfied alternative suffices.
+      bool ok = false;
+      for (const Adornment& a : *alternatives) {
+        if (AtomExecutableUnder(atom, a, seen)) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) return false;
+    }
+    for (const Term& t : atom.args) CollectTermVars(t, &seen);
+  }
+  return true;
+}
+
+bool IsProgramExecutable(const Program& program,
+                         const BindingPatterns& patterns) {
+  for (const Rule& rule : program.rules) {
+    if (!IsRuleExecutable(rule, patterns)) return false;
+  }
+  return true;
+}
+
+std::optional<Rule> ReorderForExecutability(const Rule& rule,
+                                            const BindingPatterns& patterns) {
+  // Greedy: repeatedly pick any not-yet-placed subgoal whose bound
+  // positions are covered by the variables bound so far. Greedy is
+  // complete here because placing a subgoal never unbinds variables.
+  std::vector<bool> placed(rule.body.size(), false);
+  std::unordered_set<SymbolId> seen;
+  Rule out = rule;
+  out.body.clear();
+  for (size_t step = 0; step < rule.body.size(); ++step) {
+    bool advanced = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (placed[i]) continue;
+      const Atom& atom = rule.body[i];
+      const std::vector<Adornment>* alternatives =
+          patterns.Find(atom.predicate);
+      bool ok = true;
+      if (alternatives != nullptr) {
+        ok = false;
+        for (const Adornment& a : *alternatives) {
+          if (AtomExecutableUnder(atom, a, seen)) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      placed[i] = true;
+      out.body.push_back(atom);
+      for (const Term& t : atom.args) CollectTermVars(t, &seen);
+      advanced = true;
+      break;
+    }
+    if (!advanced) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace relcont

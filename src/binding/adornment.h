@@ -1,0 +1,89 @@
+#ifndef RELCONT_BINDING_ADORNMENT_H_
+#define RELCONT_BINDING_ADORNMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// An access-pattern adornment (Section 4): a string of 'b' (bound: the
+/// value must be supplied to the source) and 'f' (free) characters, one per
+/// argument of a source predicate. E.g. RedCars^fbf requires the car model.
+class Adornment {
+ public:
+  Adornment() = default;
+
+  /// Parses "fbf"-style text.
+  static Result<Adornment> Parse(std::string_view text);
+  /// The all-free adornment of the given arity.
+  static Adornment AllFree(int arity);
+
+  int arity() const { return static_cast<int>(bound_.size()); }
+  bool IsBound(int position) const { return bound_[position]; }
+  bool HasBoundPosition() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Adornment& a, const Adornment& b) {
+    return a.bound_ == b.bound_;
+  }
+
+ private:
+  std::vector<bool> bound_;
+};
+
+/// The set B of the paper: adornments per source predicate. The paper
+/// concentrates on one adornment per source and notes that "sources with
+/// multiple possible access patterns can be modelled by a set of
+/// adornments"; both are supported. Sources without an entry are
+/// unrestricted (all-free).
+class BindingPatterns {
+ public:
+  BindingPatterns() = default;
+
+  /// Registers `adornment` as the only access pattern of `source_pred`,
+  /// replacing previous ones; arity checked on use.
+  void Set(SymbolId source_pred, Adornment adornment) {
+    patterns_[source_pred] = {std::move(adornment)};
+  }
+
+  /// Registers an additional alternative access pattern.
+  void AddAlternative(SymbolId source_pred, Adornment adornment) {
+    patterns_[source_pred].push_back(std::move(adornment));
+  }
+
+  /// The access patterns of `source_pred`, or nullptr when unrestricted.
+  const std::vector<Adornment>* Find(SymbolId source_pred) const {
+    auto it = patterns_.find(source_pred);
+    return it == patterns_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const { return patterns_.empty(); }
+
+ private:
+  std::map<SymbolId, std::vector<Adornment>> patterns_;
+};
+
+/// Executability (Definition 4.1): a rule is executable if for every
+/// adorned subgoal, every bound position holds a constant or a variable
+/// that appears earlier in the body (in an ordinary subgoal or a bound-free
+/// position to its left). Subgoals of unadorned predicates bind all their
+/// variables.
+bool IsRuleExecutable(const Rule& rule, const BindingPatterns& patterns);
+
+/// A program is executable if all its rules are.
+bool IsProgramExecutable(const Program& program,
+                         const BindingPatterns& patterns);
+
+/// Attempts to reorder the body of `rule` into an executable order.
+/// Returns nullopt if no ordering works.
+std::optional<Rule> ReorderForExecutability(const Rule& rule,
+                                            const BindingPatterns& patterns);
+
+}  // namespace relcont
+
+#endif  // RELCONT_BINDING_ADORNMENT_H_

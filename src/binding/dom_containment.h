@@ -1,0 +1,69 @@
+#ifndef RELCONT_BINDING_DOM_CONTAINMENT_H_
+#define RELCONT_BINDING_DOM_CONTAINMENT_H_
+
+#include <optional>
+
+#include "datalog/unfold.h"
+
+namespace relcont {
+
+/// Decides containment of a `dom`-recursive datalog program in a union of
+/// conjunctive queries — the decision problem at the heart of Theorem 4.2.
+///
+/// The plans produced by the binding-pattern construction (after expanding
+/// source relations back to the mediated schema) have a restricted
+/// recursion shape: the only recursive predicate is the unary accumulator
+/// `dom`, whose rules are
+///
+///     dom(X)  :-  dom(Y1), ..., dom(Yk), e1, ..., em.      (node rules)
+///     dom(c).                                              (facts)
+///
+/// An expansion of the goal is therefore a CORE (the nonrecursive part
+/// unfolded) with dom-derivation TREES hanging off its dom subgoals; each
+/// tree touches the rest of the expansion through a single boundary term.
+/// A containment mapping from a UCQ disjunct decomposes along these
+/// boundaries, so each tree is fully characterized by its PROFILE: which
+/// atom subsets of which disjunct it can absorb, and how the absorbed
+/// variables relate to the boundary and to constants. Profiles live in a
+/// finite space; saturating the set of reachable profile sets explores all
+/// infinitely many trees, making the check exact:
+///
+///   contained  ⇔  for every core and every reachable profile assignment
+///                 to its dom subgoals, some disjunct embeds.
+struct DomContainmentOptions {
+  /// Cap on distinct tree profile types kept during saturation.
+  int max_tree_options = 256;
+  /// Cap on saturation rounds.
+  int max_rounds = 64;
+  /// Cap on (core, option assignment) combinations checked.
+  int64_t max_core_checks = 1'000'000;
+  /// Disjuncts with more atoms or variables than this are rejected
+  /// (bitmask representation).
+  int max_disjunct_size = 60;
+  UnfoldOptions unfold;
+};
+
+struct DomContainmentResult {
+  bool contained = true;
+  /// When !contained: a concrete expansion of the program that is not
+  /// contained in the UCQ — freezing its body gives a counterexample
+  /// database.
+  std::optional<Rule> counterexample;
+  /// Statistics: reachable tree profile types and cores examined.
+  int tree_options = 0;
+  int64_t cores_checked = 0;
+};
+
+/// Decides `program ⊑ q2` where `program`'s only recursion runs through
+/// the unary predicate `dom_pred` (shape above) and everything is
+/// comparison-free. Fails with kUnsupported if the program is outside the
+/// shape, and kBoundReached if a cap was hit before the answer was
+/// certain.
+Result<DomContainmentResult> DomPlanContainedInUcq(
+    const Program& program, SymbolId goal, SymbolId dom_pred,
+    const UnionQuery& q2, Interner* interner,
+    const DomContainmentOptions& options = {});
+
+}  // namespace relcont
+
+#endif  // RELCONT_BINDING_DOM_CONTAINMENT_H_

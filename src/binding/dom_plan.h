@@ -1,0 +1,50 @@
+#ifndef RELCONT_BINDING_DOM_PLAN_H_
+#define RELCONT_BINDING_DOM_PLAN_H_
+
+#include "binding/adornment.h"
+#include "eval/evaluator.h"
+#include "rewriting/views.h"
+
+namespace relcont {
+
+/// The Duschka–Genesereth–Levy construction of the maximally-contained
+/// EXECUTABLE plan under binding-pattern restrictions (Section 4 of the
+/// paper; Definition 4.4). The plan is recursive in general: a unary
+/// predicate `dom` accumulates every constant obtainable from the sources,
+/// and inverse rules may only feed bound positions from `dom` (or from the
+/// constants of Q ∪ V, per the sound-plan discipline of Definition 4.2).
+struct ExecutablePlanResult {
+  Program program;
+  /// The accumulator predicate created for this plan.
+  SymbolId dom_predicate = kInvalidSymbol;
+};
+
+/// Builds the executable maximally-contained plan of `query` (rules over
+/// the mediated schema, comparison-free) using `views` under `patterns`.
+Result<ExecutablePlanResult> ExecutablePlan(const Program& query,
+                                            const ViewSet& views,
+                                            const BindingPatterns& patterns,
+                                            Interner* interner);
+
+/// Reachable certain answers (Definition 4.3): certain answers obtainable
+/// by a sound executable plan — exactly the answers of the executable
+/// maximally-contained plan on the instance.
+Result<std::vector<Tuple>> ReachableCertainAnswers(
+    const Program& query, SymbolId goal, const ViewSet& views,
+    const BindingPatterns& patterns, const Database& instance,
+    Interner* interner);
+
+/// The expansion P^exp of an executable plan, prepared for the containment
+/// check of Theorem 4.1 (P1^exp ⊑ Q2): source subgoals are replaced by
+/// view bodies over the STORED mediated relations, while the plan's own
+/// reconstruction of each mediated relation is renamed apart (cardesc
+/// becomes a fresh IDB predicate) so that the program's EDB schema is
+/// exactly the mediated schema. Rules that depend on a mediated relation
+/// no source covers are unanswerable and removed.
+Result<Program> ExpandExecutablePlanForContainment(
+    const ExecutablePlanResult& plan, SymbolId goal, const ViewSet& views,
+    Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_BINDING_DOM_PLAN_H_

@@ -1,0 +1,54 @@
+#ifndef RELCONT_COMMON_INTERNER_H_
+#define RELCONT_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace relcont {
+
+/// A dense integer handle for an interned string (predicate name, variable
+/// name, symbolic constant, or Skolem function name).
+using SymbolId = int32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = -1;
+
+/// Bidirectional string <-> SymbolId table.
+///
+/// The library uses one interner per "universe" of discourse (typically one
+/// per test or application session); all datalog structures built against it
+/// carry SymbolIds and are cheap to hash and compare. Not thread-safe.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+
+  /// Returns the id for `name`, creating it if needed.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or kInvalidSymbol if it was never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// Returns the string for `id`. `id` must have been produced by Intern().
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  /// Number of distinct symbols interned so far.
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+  /// Creates a fresh symbol guaranteed distinct from all interned names, of
+  /// the form "<prefix><n>". Useful for fresh variables and Skolem functions.
+  SymbolId Fresh(std::string_view prefix);
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+  int64_t fresh_counter_ = 0;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_COMMON_INTERNER_H_

@@ -1,0 +1,87 @@
+#include "common/rational.h"
+
+#include <cstdlib>
+#include <numeric>
+
+namespace relcont {
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+bool Rational::Parse(const std::string& text, Rational* out) {
+  if (text.empty()) return false;
+  // Fraction form "a/b".
+  size_t slash = text.find('/');
+  if (slash != std::string::npos) {
+    char* end = nullptr;
+    int64_t num = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() + slash) return false;
+    int64_t den = std::strtoll(text.c_str() + slash + 1, &end, 10);
+    if (*end != '\0' || den == 0) return false;
+    *out = Rational(num, den);
+    return true;
+  }
+  // Decimal form "a.b" or plain integer.
+  size_t dot = text.find('.');
+  if (dot == std::string::npos) {
+    char* end = nullptr;
+    int64_t num = std::strtoll(text.c_str(), &end, 10);
+    if (*end != '\0') return false;
+    *out = Rational(num);
+    return true;
+  }
+  char* end = nullptr;
+  int64_t whole = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + dot) return false;
+  const char* frac_begin = text.c_str() + dot + 1;
+  if (*frac_begin == '\0') return false;
+  int64_t frac = std::strtoll(frac_begin, &end, 10);
+  if (*end != '\0' || frac < 0) return false;
+  int64_t scale = 1;
+  for (const char* p = frac_begin; *p != '\0'; ++p) scale *= 10;
+  bool negative = text[0] == '-';
+  int64_t num = whole * scale + (negative ? -frac : frac);
+  *out = Rational(num, scale);
+  return true;
+}
+
+Rational Rational::Midpoint(const Rational& a, const Rational& b) {
+  Rational sum = a + b;
+  return Rational(sum.num(), sum.den() * 2);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens > 0).
+  // Use __int128 to avoid overflow on large literals.
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+}
+
+}  // namespace relcont

@@ -1,0 +1,70 @@
+#ifndef RELCONT_COMMON_RATIONAL_H_
+#define RELCONT_COMMON_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relcont {
+
+/// An exact rational number num/den with den > 0, always kept in lowest
+/// terms. Comparison predicates in queries and views are interpreted over a
+/// dense order (Section 5 of the paper); rationals give us exact midpoints
+/// ("pick a value strictly between a and b") without floating-point hazards.
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+  /// The integer `n`.
+  Rational(int64_t n) : num_(n), den_(1) {}  // NOLINT(runtime/explicit)
+  /// num/den; `den` must be nonzero.
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool is_integer() const { return den_ == 1; }
+
+  /// Renders "n" or "n/d".
+  std::string ToString() const;
+
+  /// Parses an integer, decimal ("12.5"), or fraction ("25/2") literal.
+  /// Returns false on malformed input.
+  static bool Parse(const std::string& text, Rational* out);
+
+  /// The exact midpoint (a+b)/2 — always strictly between distinct a and b,
+  /// witnessing density of the order.
+  static Rational Midpoint(const Rational& a, const Rational& b);
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a == b || a < b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const {
+    return static_cast<size_t>(num_) * 1000003u ^ static_cast<size_t>(den_);
+  }
+
+ private:
+  void Normalize();
+
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_COMMON_RATIONAL_H_

@@ -1,0 +1,142 @@
+#ifndef RELCONT_COMMON_STATUS_H_
+#define RELCONT_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relcont {
+
+/// Error categories used across the library. The library does not throw
+/// exceptions across its public API; fallible operations return Status or
+/// Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (parse errors, arity mismatches, unknown predicates).
+  kInvalidArgument,
+  /// A rule or program violates a structural requirement (e.g. safety).
+  kUnsafe,
+  /// The requested operation is outside the decidable/implemented fragment.
+  kUnsupported,
+  /// A configured resource bound (expansion depth, iteration cap) was hit
+  /// before the algorithm could reach a definite answer.
+  kBoundReached,
+  /// Internal invariant violation; indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a short stable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value, in the style of arrow::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status Unsafe(std::string message) {
+    return Status(StatusCode::kUnsafe, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status BoundReached(std::string message) {
+    return Status(StatusCode::kBoundReached, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error holder, in the style of arrow::Result<T>.
+///
+/// Access to ValueOrDie() on an error Result aborts the process; callers are
+/// expected to check ok() (or status()) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    AbortIfError();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+/// Aborts the process with `status` rendered to stderr.
+[[noreturn]] void DieOnBadAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieOnBadAccess(status_);
+}
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define RELCONT_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::relcont::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its status,
+/// otherwise moves the value into `lhs`.
+#define RELCONT_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  RELCONT_ASSIGN_OR_RETURN_IMPL(                     \
+      RELCONT_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define RELCONT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define RELCONT_CONCAT_IMPL_(a, b) a##b
+#define RELCONT_CONCAT_(a, b) RELCONT_CONCAT_IMPL_(a, b)
+
+}  // namespace relcont
+
+#endif  // RELCONT_COMMON_STATUS_H_

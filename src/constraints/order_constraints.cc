@@ -1,0 +1,387 @@
+#include "constraints/order_constraints.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace relcont {
+
+namespace {
+
+bool IsNumericConstant(const Term& t) {
+  return t.is_constant() && t.value().is_number();
+}
+
+bool IsOrderPoint(const Term& t) {
+  return t.is_variable() || IsNumericConstant(t);
+}
+
+}  // namespace
+
+int OrderConstraints::PointIndex(const Term& t) const {
+  auto it = index_.find(t);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> OrderConstraints::InternPoint(const Term& t) {
+  if (!IsOrderPoint(t)) {
+    return Status::InvalidArgument(
+        "dense-order points must be variables or numeric constants");
+  }
+  auto it = index_.find(t);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(points_.size());
+  points_.push_back(t);
+  index_.emplace(t, id);
+  closed_ = false;
+  // Relate the new constant to every existing constant by value.
+  if (IsNumericConstant(t)) {
+    for (int j = 0; j < id; ++j) {
+      if (!IsNumericConstant(points_[j])) continue;
+      const Rational& a = t.value().number();
+      const Rational& b = points_[j].value().number();
+      if (a < b) {
+        AddEdge(id, j, Rel::kLt);
+      } else if (b < a) {
+        AddEdge(j, id, Rel::kLt);
+      }
+      // Equal values map to the identical Term, so a == b cannot happen.
+    }
+  }
+  return id;
+}
+
+Status OrderConstraints::AddPoint(const Term& t) {
+  return InternPoint(t).status();
+}
+
+void OrderConstraints::AddEdge(int from, int to, Rel rel) {
+  edges_.emplace_back(from, to, rel);
+  closed_ = false;
+}
+
+void OrderConstraints::AddDistinct(int a, int b) {
+  distinct_.emplace_back(a, b);
+  closed_ = false;
+}
+
+Status OrderConstraints::Add(const Comparison& c) {
+  RELCONT_ASSIGN_OR_RETURN(int l, InternPoint(c.lhs));
+  RELCONT_ASSIGN_OR_RETURN(int r, InternPoint(c.rhs));
+  switch (c.op) {
+    case ComparisonOp::kLt:
+      AddEdge(l, r, Rel::kLt);
+      break;
+    case ComparisonOp::kLe:
+      AddEdge(l, r, Rel::kLe);
+      break;
+    case ComparisonOp::kGt:
+      AddEdge(r, l, Rel::kLt);
+      break;
+    case ComparisonOp::kGe:
+      AddEdge(r, l, Rel::kLe);
+      break;
+    case ComparisonOp::kEq:
+      AddEdge(l, r, Rel::kLe);
+      AddEdge(r, l, Rel::kLe);
+      break;
+    case ComparisonOp::kNe:
+      AddDistinct(l, r);
+      break;
+  }
+  return Status::OK();
+}
+
+Status OrderConstraints::AddAll(const std::vector<Comparison>& cs) {
+  for (const Comparison& c : cs) {
+    RELCONT_RETURN_NOT_OK(Add(c));
+  }
+  return Status::OK();
+}
+
+void OrderConstraints::Close() const {
+  if (closed_) return;
+  int n = static_cast<int>(points_.size());
+  closure_.assign(static_cast<size_t>(n) * n, Rel::kNone);
+  distinct_mat_.assign(static_cast<size_t>(n) * n, 0);
+  auto rel = [&](int i, int j) -> Rel& {
+    return closure_[static_cast<size_t>(i) * n + j];
+  };
+  auto dis = [&](int i, int j) -> char& {
+    return distinct_mat_[static_cast<size_t>(i) * n + j];
+  };
+  for (int i = 0; i < n; ++i) rel(i, i) = Rel::kLe;
+  for (const auto& [from, to, r] : edges_) {
+    rel(from, to) = Stronger(rel(from, to), r);
+  }
+  for (const auto& [a, b] : distinct_) {
+    dis(a, b) = 1;
+    dis(b, a) = 1;
+  }
+  // Fixpoint of: transitive closure, strengthening (x<=y & x!=y => x<y),
+  // strictness-induced distinctness, and distinctness through equality.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int k = 0; k < n; ++k) {
+      for (int i = 0; i < n; ++i) {
+        if (rel(i, k) == Rel::kNone) continue;
+        for (int j = 0; j < n; ++j) {
+          Rel composed = Compose(rel(i, k), rel(k, j));
+          if (composed > rel(i, j)) {
+            rel(i, j) = composed;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (rel(i, j) == Rel::kLt && !dis(i, j)) {
+          dis(i, j) = dis(j, i) = 1;
+          changed = true;
+        }
+        if (rel(i, j) == Rel::kLe && dis(i, j)) {
+          rel(i, j) = Rel::kLt;
+          changed = true;
+        }
+      }
+    }
+    // Distinctness propagates across equal points: i == i' and i != j
+    // implies i' != j.
+    for (int i = 0; i < n; ++i) {
+      for (int i2 = 0; i2 < n; ++i2) {
+        if (i == i2 || rel(i, i2) == Rel::kNone || rel(i2, i) == Rel::kNone) {
+          continue;  // not provably equal
+        }
+        if (rel(i, i2) == Rel::kLt || rel(i2, i) == Rel::kLt) continue;
+        for (int j = 0; j < n; ++j) {
+          if (dis(i, j) && !dis(i2, j)) {
+            dis(i2, j) = dis(j, i2) = 1;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  closed_ = true;
+}
+
+OrderConstraints::Rel OrderConstraints::ClosedRel(int i, int j) const {
+  Close();
+  return closure_[static_cast<size_t>(i) * points_.size() + j];
+}
+
+bool OrderConstraints::ClosedDistinct(int i, int j) const {
+  Close();
+  return distinct_mat_[static_cast<size_t>(i) * points_.size() + j] != 0;
+}
+
+bool OrderConstraints::IsSatisfiable() const {
+  Close();
+  int n = static_cast<int>(points_.size());
+  for (int i = 0; i < n; ++i) {
+    if (ClosedRel(i, i) == Rel::kLt) return false;
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Provably equal yet required distinct.
+      if (ClosedRel(i, j) == Rel::kLe && ClosedRel(j, i) == Rel::kLe &&
+          ClosedDistinct(i, j)) {
+        return false;
+      }
+      // A strict edge inside an equivalence would have strengthened into a
+      // strict self-loop via transitivity, caught above.
+    }
+  }
+  return true;
+}
+
+bool OrderConstraints::Entails(const Comparison& c) const {
+  // Trivial and cross-domain cases that do not involve the dense order.
+  if (c.lhs == c.rhs) {
+    return c.op == ComparisonOp::kEq || c.op == ComparisonOp::kLe ||
+           c.op == ComparisonOp::kGe;
+  }
+  auto is_symbol = [](const Term& t) {
+    return t.is_constant() && t.value().is_symbol();
+  };
+  if (is_symbol(c.lhs) || is_symbol(c.rhs)) {
+    if (c.lhs.is_constant() && c.rhs.is_constant()) {
+      // Distinct constants (symbol vs symbol, or symbol vs number).
+      return c.op == ComparisonOp::kNe;
+    }
+    return false;  // cannot order symbols against variables
+  }
+  if (!IsOrderPoint(c.lhs) || !IsOrderPoint(c.rhs)) return false;
+
+  if (!IsSatisfiable()) return true;  // ex falso quodlibet
+
+  // Work on a scratch copy so unseen terms become fresh points.
+  OrderConstraints scratch = *this;
+  Result<int> lr = scratch.InternPoint(c.lhs);
+  Result<int> rr = scratch.InternPoint(c.rhs);
+  if (!lr.ok() || !rr.ok()) return false;
+  int l = *lr;
+  int r = *rr;
+  switch (c.op) {
+    case ComparisonOp::kLt:
+      return scratch.ClosedRel(l, r) == Rel::kLt;
+    case ComparisonOp::kLe:
+      return scratch.ClosedRel(l, r) != Rel::kNone;
+    case ComparisonOp::kGt:
+      return scratch.ClosedRel(r, l) == Rel::kLt;
+    case ComparisonOp::kGe:
+      return scratch.ClosedRel(r, l) != Rel::kNone;
+    case ComparisonOp::kEq:
+      return scratch.ClosedRel(l, r) == Rel::kLe &&
+             scratch.ClosedRel(r, l) == Rel::kLe;
+    case ComparisonOp::kNe:
+      return scratch.ClosedDistinct(l, r);
+  }
+  return false;
+}
+
+bool OrderConstraints::EntailsAll(const std::vector<Comparison>& cs) const {
+  for (const Comparison& c : cs) {
+    if (!Entails(c)) return false;
+  }
+  return true;
+}
+
+bool OrderConstraints::LinearizationSatisfies(const Linearization& lin) const {
+  int n = static_cast<int>(points_.size());
+  std::vector<int> cls(n, -1);
+  for (size_t k = 0; k < lin.size(); ++k) {
+    for (int p : lin[k]) cls[p] = static_cast<int>(k);
+  }
+  for (const auto& [from, to, r] : edges_) {
+    if (r == Rel::kLt && !(cls[from] < cls[to])) return false;
+    if (r == Rel::kLe && !(cls[from] <= cls[to])) return false;
+  }
+  for (const auto& [a, b] : distinct_) {
+    if (cls[a] == cls[b]) return false;
+  }
+  return true;
+}
+
+std::vector<Linearization> OrderConstraints::EnumerateLinearizations() const {
+  Close();
+  int n = static_cast<int>(points_.size());
+  std::vector<Linearization> out;
+  if (n == 0) {
+    out.push_back({});
+    return out;
+  }
+  if (TooManyPointsToEnumerate()) return out;
+  if (!IsSatisfiable()) return out;
+
+  std::vector<int> remaining(n);
+  for (int i = 0; i < n; ++i) remaining[i] = i;
+
+  Linearization current;
+  // Chooses the next minimal class from `remaining` and recurses.
+  // Subset enumeration by bitmask over the remaining points (|remaining|
+  // is at most the point count; practical queries stay small).
+  std::function<void(std::vector<int>&)> recurse =
+      [&](std::vector<int>& rem) {
+        if (rem.empty()) {
+          out.push_back(current);
+          return;
+        }
+        int m = static_cast<int>(rem.size());
+        for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+          std::vector<int> cls;
+          std::vector<int> rest;
+          for (int i = 0; i < m; ++i) {
+            if (mask & (uint64_t{1} << i)) {
+              cls.push_back(rem[i]);
+            } else {
+              rest.push_back(rem[i]);
+            }
+          }
+          // Class members must be mergeable (no strict order, no
+          // distinctness between them).
+          bool ok = true;
+          for (size_t a = 0; a < cls.size() && ok; ++a) {
+            for (size_t b = a + 1; b < cls.size() && ok; ++b) {
+              if (ClosedRel(cls[a], cls[b]) == Rel::kLt ||
+                  ClosedRel(cls[b], cls[a]) == Rel::kLt ||
+                  ClosedDistinct(cls[a], cls[b])) {
+                ok = false;
+              }
+            }
+          }
+          // Nothing left behind may be <= a class member.
+          for (size_t a = 0; a < cls.size() && ok; ++a) {
+            for (int r : rest) {
+              if (ClosedRel(r, cls[a]) != Rel::kNone) {
+                ok = false;
+                break;
+              }
+            }
+          }
+          if (!ok) continue;
+          current.push_back(cls);
+          recurse(rest);
+          current.pop_back();
+        }
+      };
+  recurse(remaining);
+  return out;
+}
+
+std::map<Term, Rational> OrderConstraints::Realize(
+    const Linearization& lin) const {
+  int k = static_cast<int>(lin.size());
+  // Anchor classes that contain a numeric constant to that value.
+  std::vector<bool> anchored(k, false);
+  std::vector<Rational> value(k, Rational(0));
+  for (int i = 0; i < k; ++i) {
+    for (int p : lin[i]) {
+      if (IsNumericConstant(points_[p])) {
+        anchored[i] = true;
+        value[i] = points_[p].value().number();
+      }
+    }
+  }
+  // Fill runs of unanchored classes between anchors.
+  int i = 0;
+  while (i < k) {
+    if (anchored[i]) {
+      ++i;
+      continue;
+    }
+    int run_start = i;
+    while (i < k && !anchored[i]) ++i;
+    int run_end = i;  // exclusive
+    bool has_lower = run_start > 0;
+    bool has_upper = run_end < k;
+    int len = run_end - run_start;
+    if (has_lower && has_upper) {
+      Rational lo = value[run_start - 1];
+      Rational hi = value[run_end];
+      Rational width = hi - lo;
+      for (int j = 0; j < len; ++j) {
+        value[run_start + j] =
+            lo + Rational(width.num() * (j + 1), width.den() * (len + 1));
+      }
+    } else if (has_lower) {
+      for (int j = 0; j < len; ++j) {
+        value[run_start + j] = value[run_start - 1] + Rational(j + 1);
+      }
+    } else if (has_upper) {
+      for (int j = 0; j < len; ++j) {
+        value[run_start + j] = value[run_end] - Rational(len - j);
+      }
+    } else {
+      for (int j = 0; j < len; ++j) value[run_start + j] = Rational(j);
+    }
+  }
+  std::map<Term, Rational> out;
+  for (int c = 0; c < k; ++c) {
+    for (int p : lin[c]) out[points_[p]] = value[c];
+  }
+  return out;
+}
+
+}  // namespace relcont

@@ -1,0 +1,119 @@
+#ifndef RELCONT_CONSTRAINTS_ORDER_CONSTRAINTS_H_
+#define RELCONT_CONSTRAINTS_ORDER_CONSTRAINTS_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/atom.h"
+
+namespace relcont {
+
+/// A total preorder over a finite point set, represented as an ordered
+/// partition: classes[0] < classes[1] < ... with equality inside a class.
+/// Entries are indices into the owning OrderConstraints' point list.
+using Linearization = std::vector<std::vector<int>>;
+
+/// A conjunction of comparison atoms over a dense linear order (Section 5
+/// of the paper; we use the rationals).
+///
+/// Points are variables and numeric constants. Distinct numeric constants
+/// are implicitly ordered by their values. Symbolic constants are not part
+/// of the dense domain and are rejected; callers resolve =/!= on symbols
+/// before invoking the solver.
+///
+/// Supports satisfiability, entailment, and enumeration of all consistent
+/// linearizations — the machinery behind the complete containment test for
+/// conjunctive queries with comparison predicates (Klug; van der Meyden).
+class OrderConstraints {
+ public:
+  OrderConstraints() = default;
+
+  /// Registers a point (variable or numeric constant) without constraining
+  /// it. Idempotent. Fails on symbolic constants and function terms.
+  Status AddPoint(const Term& t);
+
+  /// Adds `lhs op rhs`; both sides must be variables or numeric constants
+  /// (they are registered as points automatically).
+  Status Add(const Comparison& c);
+  /// Adds every comparison in `cs`.
+  Status AddAll(const std::vector<Comparison>& cs);
+
+  /// True iff some assignment of rationals to the variables satisfies all
+  /// constraints (constants keeping their actual values).
+  bool IsSatisfiable() const;
+
+  /// True iff every satisfying assignment also satisfies `c`. Terms of `c`
+  /// that are not registered points are treated as unconstrained (so only
+  /// trivial facts about them are entailed). Returns false if `c` mentions
+  /// a symbolic constant or if this constraint set is unsatisfiable... an
+  /// unsatisfiable set entails everything, so that case returns true.
+  bool Entails(const Comparison& c) const;
+  bool EntailsAll(const std::vector<Comparison>& cs) const;
+
+  /// The largest point set EnumerateLinearizations will attempt (ordered
+  /// Bell numbers explode: 13 points already exceed 5·10^12 weak orders).
+  static constexpr int kMaxEnumerablePoints = 12;
+
+  /// True when the registered point set is too large to enumerate; callers
+  /// should surface kBoundReached instead of calling
+  /// EnumerateLinearizations.
+  bool TooManyPointsToEnumerate() const {
+    return static_cast<int>(points_.size()) > kMaxEnumerablePoints;
+  }
+
+  /// Enumerates every linearization (total preorder) of the registered
+  /// points that (a) satisfies all added constraints and (b) orders numeric
+  /// constants by value with distinct constants in distinct classes.
+  /// The count is bounded by the ordered Bell number of the point count —
+  /// exponential, as the Π₂ᴾ bounds predict. Returns an empty vector when
+  /// TooManyPointsToEnumerate() (check it first to distinguish from
+  /// unsatisfiable constraints).
+  std::vector<Linearization> EnumerateLinearizations() const;
+
+  /// Assigns a concrete rational to every point of `lin`, consistent with
+  /// the class order and with the actual values of constant points.
+  /// Requires `lin` to be one of the linearizations this instance generated
+  /// (constants in value order, one constant value per class).
+  std::map<Term, Rational> Realize(const Linearization& lin) const;
+
+  /// The registered points in registration order.
+  const std::vector<Term>& points() const { return points_; }
+  /// Index of `t` in points(), or -1.
+  int PointIndex(const Term& t) const;
+
+ private:
+  // Strongest derived relation from point i to point j.
+  enum class Rel : uint8_t { kNone = 0, kLe = 1, kLt = 2 };
+
+  static Rel Compose(Rel a, Rel b) {
+    if (a == Rel::kNone || b == Rel::kNone) return Rel::kNone;
+    return (a == Rel::kLt || b == Rel::kLt) ? Rel::kLt : Rel::kLe;
+  }
+  static Rel Stronger(Rel a, Rel b) { return a > b ? a : b; }
+
+  Result<int> InternPoint(const Term& t);
+  void AddEdge(int from, int to, Rel rel);
+  void AddDistinct(int a, int b);
+  // Recomputes the transitive closure; called lazily.
+  void Close() const;
+  Rel ClosedRel(int i, int j) const;
+  bool ClosedDistinct(int i, int j) const;
+  // True iff the linearization satisfies every added raw constraint.
+  bool LinearizationSatisfies(const Linearization& lin) const;
+
+  std::vector<Term> points_;
+  std::map<Term, int> index_;
+  // Raw constraints as (i, Rel, j) edges plus a distinctness set.
+  std::vector<std::tuple<int, int, Rel>> edges_;
+  std::vector<std::pair<int, int>> distinct_;
+
+  // Lazily computed closure.
+  mutable bool closed_ = false;
+  mutable std::vector<Rel> closure_;        // n*n matrix
+  mutable std::vector<char> distinct_mat_;  // n*n matrix
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONSTRAINTS_ORDER_CONSTRAINTS_H_

@@ -1,0 +1,35 @@
+#include "containment/canonical.h"
+
+#include "eval/evaluator.h"
+
+namespace relcont {
+
+Result<FrozenQuery> FreezeRule(const Rule& q, Interner* interner) {
+  if (!q.comparisons.empty()) {
+    return Status::InvalidArgument(
+        "cannot freeze a query with comparison subgoals");
+  }
+  RELCONT_RETURN_NOT_OK(q.CheckSafe());
+  FrozenQuery out;
+  for (SymbolId v : q.Variables()) {
+    out.freezing.Bind(v, Term::Symbol(interner->Fresh("_k")));
+  }
+  for (const Atom& a : q.body) {
+    out.database.Add(out.freezing.Apply(a));
+  }
+  out.head_tuple = out.freezing.Apply(q.head).args;
+  return out;
+}
+
+Result<bool> UnionContainedInDatalog(const UnionQuery& q1, const Program& p,
+                                     SymbolId goal, Interner* interner) {
+  for (const Rule& d : q1.disjuncts) {
+    RELCONT_ASSIGN_OR_RETURN(FrozenQuery frozen, FreezeRule(d, interner));
+    RELCONT_ASSIGN_OR_RETURN(EvalResult eval,
+                             Evaluate(p, frozen.database));
+    if (!eval.database.Contains(goal, frozen.head_tuple)) return false;
+  }
+  return true;
+}
+
+}  // namespace relcont

@@ -1,0 +1,34 @@
+#ifndef RELCONT_CONTAINMENT_CANONICAL_H_
+#define RELCONT_CONTAINMENT_CANONICAL_H_
+
+#include "common/status.h"
+#include "datalog/substitution.h"
+#include "eval/database.h"
+
+namespace relcont {
+
+/// The frozen (canonical) database of a conjunctive query: each distinct
+/// variable becomes a fresh symbolic constant; the body atoms become facts.
+struct FrozenQuery {
+  Database database;
+  /// The frozen head tuple — the tuple the query derives on its canonical
+  /// database.
+  Tuple head_tuple;
+  /// Variable -> frozen constant.
+  Substitution freezing;
+};
+
+/// Freezes a comparison-free conjunctive query (Chandra–Merlin canonical
+/// database). Fails with kInvalidArgument on comparisons — those require a
+/// canonical database per linearization (see comparison_containment).
+Result<FrozenQuery> FreezeRule(const Rule& q, Interner* interner);
+
+/// Decides ∪(q1) ⊑ P where P is an arbitrary (possibly recursive) datalog
+/// program with goal predicate `goal`: freeze each disjunct and evaluate P
+/// on the canonical database. Comparison-free only.
+Result<bool> UnionContainedInDatalog(const UnionQuery& q1, const Program& p,
+                                     SymbolId goal, Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_CANONICAL_H_

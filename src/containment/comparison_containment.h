@@ -1,0 +1,55 @@
+#ifndef RELCONT_CONTAINMENT_COMPARISON_CONTAINMENT_H_
+#define RELCONT_CONTAINMENT_COMPARISON_CONTAINMENT_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace relcont {
+
+/// Containment for conjunctive queries with comparison predicates over a
+/// dense order (Section 5 of the paper).
+///
+/// Two tests are provided:
+///  * the complete LINEARIZATION test (Klug / van der Meyden): q1 ⊑ q2 iff
+///    for every total order of q1's variables and the relevant constants
+///    consistent with q1's comparisons there is a containment mapping h
+///    from q2's relational subgoals into q1's with the order satisfying
+///    h(q2's comparisons). Exponential in the number of points — matching
+///    the Π₂ᴾ upper bounds.
+///  * the HOMOMORPHISM-ENTAILMENT test: a single mapping h must exist with
+///    C(q1) ⊨ h(C(q2)). Sound always; complete when q2's comparisons are
+///    semi-interval (x θ c) [Klug], which is the fragment Theorem 5.1 uses.
+
+/// Rewrites `q` into comparison-normal form: equality comparisons are
+/// substituted through the rule, ground comparisons are evaluated, and the
+/// remaining comparisons relate variables and numeric constants only.
+/// Returns nullopt if the comparisons are unsatisfiable (empty query).
+/// Fails with kUnsupported on symbolic-constant disequalities over
+/// variables (outside the paper's dense-order fragment).
+Result<std::optional<Rule>> NormalizeComparisons(const Rule& q);
+
+/// True iff every comparison of `q` is semi-interval after normalization.
+bool AllComparisonsSemiInterval(const Rule& q);
+
+/// Complete test: q1 ⊑ q2 for CQs whose comparisons are over the dense
+/// order. Uses linearizations of q1's points.
+Result<bool> CqContainedComplete(const Rule& q1, const Rule& q2);
+
+/// Complete test against a union: q1 ⊑ ∪(q2). Note that with comparisons a
+/// CQ can be contained in a union without being contained in any single
+/// disjunct, so this does NOT reduce to per-disjunct checks.
+Result<bool> CqContainedInUnionComplete(const Rule& q1, const UnionQuery& q2);
+
+/// Complete test: ∪(q1) ⊑ ∪(q2).
+Result<bool> UnionContainedInUnionComplete(const UnionQuery& q1,
+                                           const UnionQuery& q2);
+
+/// Sound test, complete for semi-interval q2: exists h with
+/// C(q1) ⊨ h(C(q2)).
+Result<bool> CqContainedViaEntailment(const Rule& q1, const Rule& q2);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_COMPARISON_CONTAINMENT_H_

@@ -1,0 +1,89 @@
+#include "containment/cq_containment.h"
+
+#include "containment/homomorphism.h"
+
+namespace relcont {
+
+namespace {
+
+Status RequireNoComparisons(const Rule& q) {
+  if (!q.comparisons.empty()) {
+    return Status::InvalidArgument(
+        "comparison subgoals require the comparison-aware containment test");
+  }
+  return Status::OK();
+}
+
+Status RequireNoComparisons(const UnionQuery& q) {
+  for (const Rule& r : q.disjuncts) {
+    RELCONT_RETURN_NOT_OK(RequireNoComparisons(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> CqContained(const Rule& q1, const Rule& q2) {
+  RELCONT_RETURN_NOT_OK(RequireNoComparisons(q1));
+  RELCONT_RETURN_NOT_OK(RequireNoComparisons(q2));
+  if (q1.head.arity() != q2.head.arity()) {
+    return Status::InvalidArgument("containment requires equal head arity");
+  }
+  return FindContainmentMapping(q2, q1).has_value();
+}
+
+Result<bool> CqContainedInUnion(const Rule& q1, const UnionQuery& q2) {
+  RELCONT_RETURN_NOT_OK(RequireNoComparisons(q1));
+  RELCONT_RETURN_NOT_OK(RequireNoComparisons(q2));
+  // For a conjunctive (comparison-free) q1, containment in a union holds
+  // iff q1 is contained in some single disjunct: freeze q1 to its canonical
+  // database; the disjunct that derives the head tuple supplies the
+  // containment mapping.
+  for (const Rule& d : q2.disjuncts) {
+    if (q1.head.arity() != d.head.arity()) continue;
+    if (FindContainmentMapping(d, q1).has_value()) return true;
+  }
+  return false;
+}
+
+Result<bool> UnionContainedInUnion(const UnionQuery& q1,
+                                   const UnionQuery& q2) {
+  for (const Rule& d : q1.disjuncts) {
+    RELCONT_ASSIGN_OR_RETURN(bool contained, CqContainedInUnion(d, q2));
+    if (!contained) return false;
+  }
+  return true;
+}
+
+Result<bool> UnionEquivalent(const UnionQuery& q1, const UnionQuery& q2) {
+  RELCONT_ASSIGN_OR_RETURN(bool a, UnionContainedInUnion(q1, q2));
+  if (!a) return false;
+  return UnionContainedInUnion(q2, q1);
+}
+
+Result<UnionQuery> MinimizeUnion(const UnionQuery& q) {
+  RELCONT_RETURN_NOT_OK(RequireNoComparisons(q));
+  std::vector<bool> dead(q.disjuncts.size(), false);
+  for (size_t i = 0; i < q.disjuncts.size(); ++i) {
+    for (size_t j = 0; j < q.disjuncts.size(); ++j) {
+      if (i == j || dead[i] || dead[j]) continue;
+      RELCONT_ASSIGN_OR_RETURN(bool contained,
+                               CqContained(q.disjuncts[i], q.disjuncts[j]));
+      if (contained) {
+        // i is redundant unless i and j are equivalent and j was already
+        // kept; break ties by index to keep exactly one of an equivalent
+        // pair.
+        RELCONT_ASSIGN_OR_RETURN(bool back,
+                                 CqContained(q.disjuncts[j], q.disjuncts[i]));
+        if (!back || j < i) dead[i] = true;
+      }
+    }
+  }
+  UnionQuery out;
+  for (size_t i = 0; i < q.disjuncts.size(); ++i) {
+    if (!dead[i]) out.disjuncts.push_back(q.disjuncts[i]);
+  }
+  return out;
+}
+
+}  // namespace relcont

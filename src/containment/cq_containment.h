@@ -1,0 +1,34 @@
+#ifndef RELCONT_CONTAINMENT_CQ_CONTAINMENT_H_
+#define RELCONT_CONTAINMENT_CQ_CONTAINMENT_H_
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace relcont {
+
+/// Classical containment for conjunctive queries and unions of conjunctive
+/// queries WITHOUT comparison subgoals (Chandra–Merlin; Sagiv–Yannakakis).
+/// All functions fail with kInvalidArgument if a query has comparisons —
+/// use containment/comparison_containment.h for those.
+
+/// Decides q1 ⊑ q2 (every database: answers(q1) ⊆ answers(q2)).
+Result<bool> CqContained(const Rule& q1, const Rule& q2);
+
+/// Decides q1 ⊑ ∪(q2). For conjunctive q1 this reduces to containment in a
+/// single disjunct (canonical-database argument).
+Result<bool> CqContainedInUnion(const Rule& q1, const UnionQuery& q2);
+
+/// Decides ∪(q1) ⊑ ∪(q2): every disjunct of q1 contained in the union.
+Result<bool> UnionContainedInUnion(const UnionQuery& q1,
+                                   const UnionQuery& q2);
+
+/// Decides equivalence of two UCQs.
+Result<bool> UnionEquivalent(const UnionQuery& q1, const UnionQuery& q2);
+
+/// Removes disjuncts of `q` that are contained in another disjunct
+/// (minimization at the union level; individual disjuncts are not cored).
+Result<UnionQuery> MinimizeUnion(const UnionQuery& q);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_CQ_CONTAINMENT_H_

@@ -1,0 +1,136 @@
+#include "containment/expansion.h"
+
+#include "containment/cq_containment.h"
+#include "datalog/substitution.h"
+
+namespace relcont {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(const Program& program, Interner* interner,
+             const ExpansionOptions& options,
+             const std::function<bool(const Rule&)>& visit)
+      : program_(program),
+        interner_(interner),
+        options_(options),
+        visit_(visit),
+        idb_(program.IdbPredicates()) {}
+
+  // Returns OK when enumeration ran to natural exhaustion.
+  Result<bool> Run(SymbolId goal) {
+    for (const Rule* rule : program_.RulesFor(goal)) {
+      if (stop_) break;
+      Expand(RenameApart(*rule, interner_), 1);
+    }
+    return complete_ && !stop_;
+  }
+
+ private:
+  // `rule` has some prefix of EDB atoms and possibly IDB atoms; resolve the
+  // first IDB atom against every alternative.
+  void Expand(const Rule& rule, int applications) {
+    if (stop_) return;
+    int idb_index = -1;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (idb_.count(rule.body[i].predicate) > 0) {
+        idb_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idb_index < 0) {
+      if (++visited_ > options_.max_expansions) {
+        complete_ = false;
+        stop_ = true;
+        return;
+      }
+      if (!visit_(rule)) stop_ = true;
+      return;
+    }
+    if (applications >= options_.max_rule_applications) {
+      complete_ = false;  // derivation cut off
+      return;
+    }
+    const Atom& subgoal = rule.body[idb_index];
+    for (const Rule* def : program_.RulesFor(subgoal.predicate)) {
+      if (stop_) return;
+      Rule fresh = RenameApart(*def, interner_);
+      Substitution mgu;
+      if (!UnifyAtoms(subgoal, fresh.head, &mgu)) continue;
+      Rule resolved;
+      resolved.head = mgu.Apply(rule.head);
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (static_cast<int>(i) == idb_index) {
+          for (const Atom& a : fresh.body) {
+            resolved.body.push_back(mgu.Apply(a));
+          }
+        } else {
+          resolved.body.push_back(mgu.Apply(rule.body[i]));
+        }
+      }
+      Expand(resolved, applications + 1);
+    }
+  }
+
+  const Program& program_;
+  Interner* interner_;
+  const ExpansionOptions& options_;
+  const std::function<bool(const Rule&)>& visit_;
+  std::set<SymbolId> idb_;
+  int64_t visited_ = 0;
+  bool complete_ = true;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+Result<bool> ForEachExpansion(const Program& program, SymbolId goal,
+                              Interner* interner,
+                              const ExpansionOptions& options,
+                              const std::function<bool(const Rule&)>& visit) {
+  for (const Rule& r : program.rules) {
+    if (!r.comparisons.empty()) {
+      return Status::Unsupported(
+          "expansion enumeration covers comparison-free programs");
+    }
+  }
+  return Enumerator(program, interner, options, visit).Run(goal);
+}
+
+Result<bool> DatalogContainedInUcqBounded(const Program& program,
+                                          SymbolId goal, const UnionQuery& q,
+                                          Interner* interner,
+                                          const ExpansionOptions& options,
+                                          Rule* witness) {
+  bool all_contained = true;
+  Rule counterexample;
+  Status inner_error;
+  Result<bool> complete = ForEachExpansion(
+      program, goal, interner, options, [&](const Rule& expansion) {
+        Result<bool> contained = CqContainedInUnion(expansion, q);
+        if (!contained.ok()) {
+          inner_error = contained.status();
+          return false;
+        }
+        if (!*contained) {
+          all_contained = false;
+          counterexample = expansion;
+          return false;  // definite counterexample; stop
+        }
+        return true;
+      });
+  if (!complete.ok()) return complete.status();
+  if (!inner_error.ok()) return inner_error;
+  if (!all_contained) {
+    if (witness != nullptr) *witness = counterexample;
+    return false;
+  }
+  if (!*complete) {
+    return Status::BoundReached(
+        "no counterexample within bounds, but enumeration was truncated");
+  }
+  return true;
+}
+
+}  // namespace relcont

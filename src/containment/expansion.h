@@ -1,0 +1,51 @@
+#ifndef RELCONT_CONTAINMENT_EXPANSION_H_
+#define RELCONT_CONTAINMENT_EXPANSION_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// Enumeration of the expansions of a datalog program: the conjunctive
+/// queries obtained by unfolding proof trees of the goal predicate. For a
+/// recursive program the set is infinite; enumeration is bounded by the
+/// number of rule applications per expansion.
+
+struct ExpansionOptions {
+  /// Maximum rule applications in a single expansion's derivation tree.
+  int max_rule_applications = 10;
+  /// Hard cap on the number of expansions visited.
+  int64_t max_expansions = 1'000'000;
+};
+
+/// Invokes `visit` for every expansion of `goal` whose derivation uses at
+/// most max_rule_applications rule applications. `visit` returning false
+/// stops enumeration early.
+///
+/// Returns true if the enumeration was COMPLETE: every expansion of the
+/// program was visited (no derivation was cut off by the bounds and the
+/// visitor never stopped early) — guaranteed for nonrecursive programs
+/// with sufficient bounds. Returns false if some derivations were pruned.
+Result<bool> ForEachExpansion(const Program& program, SymbolId goal,
+                              Interner* interner,
+                              const ExpansionOptions& options,
+                              const std::function<bool(const Rule&)>& visit);
+
+/// Bounded containment check of a datalog program in a UCQ
+/// (comparison-free): searches the program's expansions for one not
+/// contained in `q`.
+///  * Finds a counterexample within the bounds -> returns false (definite;
+///    `witness` receives the offending expansion).
+///  * Full enumeration, all contained -> returns true (definite).
+///  * Bounds hit with no counterexample -> kBoundReached (inconclusive).
+Result<bool> DatalogContainedInUcqBounded(const Program& program,
+                                          SymbolId goal, const UnionQuery& q,
+                                          Interner* interner,
+                                          const ExpansionOptions& options,
+                                          Rule* witness = nullptr);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_EXPANSION_H_

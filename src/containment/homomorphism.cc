@@ -1,0 +1,107 @@
+#include "containment/homomorphism.h"
+
+#include <algorithm>
+
+namespace relcont {
+
+namespace {
+
+// Matches a pattern term (variables of `from` are match variables) against
+// a target term (variables of `to` are opaque, frozen symbols).
+bool MatchTermFrozen(const Term& pattern, const Term& target,
+                     Substitution* subst) {
+  switch (pattern.kind()) {
+    case Term::Kind::kVariable: {
+      std::optional<Term> bound = subst->Lookup(pattern.symbol());
+      if (bound.has_value()) return *bound == target;
+      subst->Bind(pattern.symbol(), target);
+      return true;
+    }
+    case Term::Kind::kConstant:
+      return target.is_constant() && pattern.value() == target.value();
+    case Term::Kind::kFunction: {
+      if (!target.is_function() || target.symbol() != pattern.symbol() ||
+          target.args().size() != pattern.args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTermFrozen(pattern.args()[i], target.args()[i], subst)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchAtomFrozen(const Atom& pattern, const Atom& target,
+                     Substitution* subst) {
+  if (pattern.predicate != target.predicate ||
+      pattern.args.size() != target.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (!MatchTermFrozen(pattern.args[i], target.args[i], subst)) return false;
+  }
+  return true;
+}
+
+// Matches the heads positionally, ignoring the head predicate symbol.
+bool MatchHead(const Atom& pattern, const Atom& target, Substitution* subst) {
+  if (pattern.args.size() != target.args.size()) return false;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (!MatchTermFrozen(pattern.args[i], target.args[i], subst)) return false;
+  }
+  return true;
+}
+
+bool Backtrack(const Rule& from, const Rule& to,
+               const std::vector<int>& order, size_t depth,
+               Substitution* subst,
+               const std::function<bool(const Substitution&)>& visit) {
+  if (depth == order.size()) return visit(*subst);
+  const Atom& pattern = from.body[order[depth]];
+  for (const Atom& candidate : to.body) {
+    Substitution extended = *subst;
+    if (!MatchAtomFrozen(pattern, candidate, &extended)) continue;
+    if (Backtrack(from, to, order, depth + 1, &extended, visit)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ForEachContainmentMapping(
+    const Rule& from, const Rule& to,
+    const std::function<bool(const Substitution&)>& visit) {
+  Substitution subst;
+  if (!MatchHead(from.head, to.head, &subst)) return false;
+  // Visit atoms with fewer candidate targets first; this prunes early.
+  std::vector<int> order(from.body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::vector<int> candidates(from.body.size(), 0);
+  for (size_t i = 0; i < from.body.size(); ++i) {
+    for (const Atom& a : to.body) {
+      if (a.predicate == from.body[i].predicate &&
+          a.args.size() == from.body[i].args.size()) {
+        ++candidates[i];
+      }
+    }
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return candidates[a] < candidates[b]; });
+  return Backtrack(from, to, order, 0, &subst, visit);
+}
+
+std::optional<Substitution> FindContainmentMapping(const Rule& from,
+                                                   const Rule& to) {
+  std::optional<Substitution> found;
+  ForEachContainmentMapping(from, to, [&](const Substitution& h) {
+    found = h;
+    return true;
+  });
+  return found;
+}
+
+}  // namespace relcont

@@ -1,0 +1,32 @@
+#ifndef RELCONT_CONTAINMENT_HOMOMORPHISM_H_
+#define RELCONT_CONTAINMENT_HOMOMORPHISM_H_
+
+#include <functional>
+#include <optional>
+
+#include "datalog/substitution.h"
+
+namespace relcont {
+
+/// A containment mapping from rule `from` into rule `to` (Chandra–Merlin):
+/// a substitution h on the variables of `from` such that h(head(from)) =
+/// head(to) and every relational subgoal of h(body(from)) appears in
+/// body(to). Head predicate names are ignored (queries keep their own head
+/// symbols); arities must match. Comparison subgoals are NOT checked here —
+/// callers layer the appropriate comparison test on top.
+
+/// Finds one containment mapping, or nullopt.
+std::optional<Substitution> FindContainmentMapping(const Rule& from,
+                                                   const Rule& to);
+
+/// Enumerates all containment mappings from `from` into `to`, invoking
+/// `visit` for each. If `visit` returns true, enumeration stops early (and
+/// this function returns true). Returns false if no mapping satisfied the
+/// visitor.
+bool ForEachContainmentMapping(
+    const Rule& from, const Rule& to,
+    const std::function<bool(const Substitution&)>& visit);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_HOMOMORPHISM_H_

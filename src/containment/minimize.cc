@@ -1,0 +1,46 @@
+#include "containment/minimize.h"
+
+#include "containment/homomorphism.h"
+
+namespace relcont {
+
+namespace {
+
+Status RequireMinimizable(const Rule& q) {
+  if (!q.comparisons.empty()) {
+    return Status::Unsupported(
+        "minimization is implemented for comparison-free queries");
+  }
+  return q.CheckSafe();
+}
+
+}  // namespace
+
+Result<Rule> MinimizeQuery(const Rule& q) {
+  RELCONT_RETURN_NOT_OK(RequireMinimizable(q));
+  Rule current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < current.body.size(); ++i) {
+      Rule reduced = current;
+      reduced.body.erase(reduced.body.begin() + i);
+      // Dropping an atom weakens the query; equivalence needs the original
+      // to fold into the reduced body (current ⊒ reduced is automatic).
+      if (!reduced.CheckSafe().ok()) continue;  // head var would dangle
+      if (FindContainmentMapping(current, reduced).has_value()) {
+        current = std::move(reduced);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Result<bool> IsMinimal(const Rule& q) {
+  RELCONT_ASSIGN_OR_RETURN(Rule core, MinimizeQuery(q));
+  return core.body.size() == q.body.size();
+}
+
+}  // namespace relcont

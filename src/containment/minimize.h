@@ -1,0 +1,26 @@
+#ifndef RELCONT_CONTAINMENT_MINIMIZE_H_
+#define RELCONT_CONTAINMENT_MINIMIZE_H_
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace relcont {
+
+/// Conjunctive-query minimization (Chandra–Merlin cores). Containment's
+/// classical application to query optimization: a CQ is equivalent to its
+/// CORE, the smallest subset of its subgoals it can be folded onto. The
+/// paper's introduction lists query optimization as the first use of
+/// containment; this is that use.
+
+/// Computes a core of `q` (comparison-free): repeatedly drops a body atom
+/// when a containment mapping from the full query into the reduced one
+/// exists. The result is equivalent to `q` and subgoal-minimal. Cores are
+/// unique up to isomorphism; this returns one representative.
+Result<Rule> MinimizeQuery(const Rule& q);
+
+/// True iff `q` is its own core (no subgoal can be dropped).
+Result<bool> IsMinimal(const Rule& q);
+
+}  // namespace relcont
+
+#endif  // RELCONT_CONTAINMENT_MINIMIZE_H_

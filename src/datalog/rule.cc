@@ -1,0 +1,123 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace relcont {
+
+namespace {
+
+// Appends the distinct elements of `vars` to `out`, preserving order.
+void Dedup(const std::vector<SymbolId>& vars, std::vector<SymbolId>* out) {
+  std::unordered_set<SymbolId> seen(out->begin(), out->end());
+  for (SymbolId v : vars) {
+    if (seen.insert(v).second) out->push_back(v);
+  }
+}
+
+void CollectConstantsFromTerm(const Term& t, std::vector<Value>* out) {
+  switch (t.kind()) {
+    case Term::Kind::kVariable:
+      return;
+    case Term::Kind::kConstant:
+      out->push_back(t.value());
+      return;
+    case Term::Kind::kFunction:
+      for (const Term& a : t.args()) CollectConstantsFromTerm(a, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<SymbolId> Rule::Variables() const {
+  std::vector<SymbolId> all;
+  head.CollectVars(&all);
+  for (const Atom& a : body) a.CollectVars(&all);
+  for (const Comparison& c : comparisons) c.CollectVars(&all);
+  std::vector<SymbolId> out;
+  Dedup(all, &out);
+  return out;
+}
+
+std::vector<SymbolId> Rule::HeadVariables() const {
+  std::vector<SymbolId> all;
+  head.CollectVars(&all);
+  std::vector<SymbolId> out;
+  Dedup(all, &out);
+  return out;
+}
+
+std::vector<SymbolId> Rule::BodyVariables() const {
+  std::vector<SymbolId> all;
+  for (const Atom& a : body) a.CollectVars(&all);
+  std::vector<SymbolId> out;
+  Dedup(all, &out);
+  return out;
+}
+
+std::vector<Value> Rule::Constants() const {
+  std::vector<Value> out;
+  for (const Term& t : head.args) CollectConstantsFromTerm(t, &out);
+  for (const Atom& a : body) {
+    for (const Term& t : a.args) CollectConstantsFromTerm(t, &out);
+  }
+  for (const Comparison& c : comparisons) {
+    CollectConstantsFromTerm(c.lhs, &out);
+    CollectConstantsFromTerm(c.rhs, &out);
+  }
+  return out;
+}
+
+Status Rule::CheckSafe() const {
+  std::vector<SymbolId> body_vars_vec = BodyVariables();
+  std::unordered_set<SymbolId> body_vars(body_vars_vec.begin(),
+                                         body_vars_vec.end());
+  for (SymbolId v : HeadVariables()) {
+    if (body_vars.find(v) == body_vars.end()) {
+      return Status::Unsafe("head variable does not appear in the body");
+    }
+  }
+  std::vector<SymbolId> cmp_vars;
+  for (const Comparison& c : comparisons) c.CollectVars(&cmp_vars);
+  for (SymbolId v : cmp_vars) {
+    if (body_vars.find(v) == body_vars.end()) {
+      return Status::Unsafe(
+          "comparison variable does not appear in an ordinary subgoal");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Rule::ToString(const Interner& interner) const {
+  std::string out = head.ToString(interner);
+  if (body.empty() && comparisons.empty()) {
+    out += ".";
+    return out;
+  }
+  out += " :- ";
+  bool first = true;
+  for (const Atom& a : body) {
+    if (!first) out += ", ";
+    first = false;
+    out += a.ToString(interner);
+  }
+  for (const Comparison& c : comparisons) {
+    if (!first) out += ", ";
+    first = false;
+    out += c.ToString(interner);
+  }
+  out += ".";
+  return out;
+}
+
+std::string UnionQuery::ToString(const Interner& interner) const {
+  std::string out;
+  for (const Rule& r : disjuncts) {
+    out += r.ToString(interner);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace relcont

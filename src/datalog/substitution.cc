@@ -1,0 +1,205 @@
+#include "datalog/substitution.h"
+
+namespace relcont {
+
+std::optional<Term> Substitution::Lookup(SymbolId var) const {
+  auto it = map_.find(var);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Apply(const Term& t) const {
+  switch (t.kind()) {
+    case Term::Kind::kConstant:
+      return t;
+    case Term::Kind::kVariable: {
+      auto it = map_.find(t.symbol());
+      if (it == map_.end()) return t;
+      // Follow chains var -> var -> term created during unification.
+      if (it->second.is_variable() && it->second.symbol() != t.symbol()) {
+        return Apply(it->second);
+      }
+      if (it->second.is_function()) return Apply(it->second);
+      return it->second;
+    }
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(Apply(a));
+      return Term::Function(t.symbol(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  Atom out;
+  out.predicate = a.predicate;
+  out.args.reserve(a.args.size());
+  for (const Term& t : a.args) out.args.push_back(Apply(t));
+  return out;
+}
+
+Comparison Substitution::Apply(const Comparison& c) const {
+  return Comparison(Apply(c.lhs), c.op, Apply(c.rhs));
+}
+
+Rule Substitution::Apply(const Rule& r) const {
+  Rule out;
+  out.head = Apply(r.head);
+  out.body.reserve(r.body.size());
+  for (const Atom& a : r.body) out.body.push_back(Apply(a));
+  out.comparisons.reserve(r.comparisons.size());
+  for (const Comparison& c : r.comparisons) {
+    out.comparisons.push_back(Apply(c));
+  }
+  return out;
+}
+
+Term Substitution::ApplyOnce(const Term& t) const {
+  switch (t.kind()) {
+    case Term::Kind::kConstant:
+      return t;
+    case Term::Kind::kVariable: {
+      auto it = map_.find(t.symbol());
+      return it == map_.end() ? t : it->second;
+    }
+    case Term::Kind::kFunction: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(ApplyOnce(a));
+      return Term::Function(t.symbol(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom Substitution::ApplyOnce(const Atom& a) const {
+  Atom out;
+  out.predicate = a.predicate;
+  out.args.reserve(a.args.size());
+  for (const Term& t : a.args) out.args.push_back(ApplyOnce(t));
+  return out;
+}
+
+Comparison Substitution::ApplyOnce(const Comparison& c) const {
+  return Comparison(ApplyOnce(c.lhs), c.op, ApplyOnce(c.rhs));
+}
+
+namespace {
+
+// Resolves `t` through the substitution until it is not a bound variable.
+Term Walk(const Term& t, const Substitution& subst) {
+  Term cur = t;
+  while (cur.is_variable()) {
+    std::optional<Term> next = subst.Lookup(cur.symbol());
+    if (!next.has_value()) return cur;
+    cur = *next;
+  }
+  return cur;
+}
+
+bool OccursIn(SymbolId var, const Term& t, const Substitution& subst) {
+  Term w = Walk(t, subst);
+  switch (w.kind()) {
+    case Term::Kind::kVariable:
+      return w.symbol() == var;
+    case Term::Kind::kConstant:
+      return false;
+    case Term::Kind::kFunction:
+      for (const Term& a : w.args()) {
+        if (OccursIn(var, a, subst)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term x = Walk(a, *subst);
+  Term y = Walk(b, *subst);
+  if (x.is_variable()) {
+    if (y.is_variable() && y.symbol() == x.symbol()) return true;
+    if (OccursIn(x.symbol(), y, *subst)) return false;
+    subst->Bind(x.symbol(), y);
+    return true;
+  }
+  if (y.is_variable()) {
+    if (OccursIn(y.symbol(), x, *subst)) return false;
+    subst->Bind(y.symbol(), x);
+    return true;
+  }
+  if (x.is_constant() && y.is_constant()) return x.value() == y.value();
+  if (x.is_function() && y.is_function()) {
+    if (x.symbol() != y.symbol() || x.args().size() != y.args().size()) {
+      return false;
+    }
+    for (size_t i = 0; i < x.args().size(); ++i) {
+      if (!UnifyTerms(x.args()[i], y.args()[i], subst)) return false;
+    }
+    return true;
+  }
+  return false;  // constant vs function
+}
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst) {
+  if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (!UnifyTerms(a.args[i], b.args[i], subst)) return false;
+  }
+  return true;
+}
+
+bool MatchTermAgainstGround(const Term& pattern, const Term& ground,
+                            Substitution* subst) {
+  switch (pattern.kind()) {
+    case Term::Kind::kConstant:
+      return ground.is_constant() && pattern.value() == ground.value();
+    case Term::Kind::kVariable: {
+      std::optional<Term> bound = subst->Lookup(pattern.symbol());
+      if (bound.has_value()) return *bound == ground;
+      subst->Bind(pattern.symbol(), ground);
+      return true;
+    }
+    case Term::Kind::kFunction: {
+      if (!ground.is_function() || ground.symbol() != pattern.symbol() ||
+          ground.args().size() != pattern.args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < pattern.args().size(); ++i) {
+        if (!MatchTermAgainstGround(pattern.args()[i], ground.args()[i],
+                                    subst)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchAtomAgainstGround(const Atom& pattern,
+                            const std::vector<Term>& tuple,
+                            Substitution* subst) {
+  if (pattern.args.size() != tuple.size()) return false;
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    if (!MatchTermAgainstGround(pattern.args[i], tuple[i], subst)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Rule RenameApart(const Rule& rule, Interner* interner) {
+  Substitution renaming;
+  for (SymbolId v : rule.Variables()) {
+    renaming.Bind(v, Term::Var(interner->Fresh("_R")));
+  }
+  return renaming.Apply(rule);
+}
+
+}  // namespace relcont

@@ -1,0 +1,76 @@
+#ifndef RELCONT_DATALOG_SUBSTITUTION_H_
+#define RELCONT_DATALOG_SUBSTITUTION_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// A mapping from variables to terms, applied simultaneously.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` to `term`, overwriting any previous binding.
+  void Bind(SymbolId var, Term term) { map_[var] = std::move(term); }
+
+  /// Returns the binding of `var`, or nullopt.
+  std::optional<Term> Lookup(SymbolId var) const;
+
+  bool Contains(SymbolId var) const { return map_.count(var) > 0; }
+  bool empty() const { return map_.empty(); }
+  size_t size() const { return map_.size(); }
+
+  /// Applies the substitution to a term / atom / comparison / rule.
+  /// Application recurses through function terms and is repeated until
+  /// fixpoint on the *result* of a lookup (i.e. bindings may map variables
+  /// to terms containing other bound variables, as produced by unification).
+  /// Only safe for idempotent-after-chasing substitutions such as the ones
+  /// unification builds; for containment mappings use ApplyOnce.
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Comparison Apply(const Comparison& c) const;
+  Rule Apply(const Rule& r) const;
+
+  /// Single-step application: each variable is replaced by its binding
+  /// verbatim, with no chasing. This is the right semantics for
+  /// containment mappings (homomorphisms), whose domain and range may
+  /// share variable names — e.g. {X -> Y, Y -> X} — where chasing would
+  /// not terminate.
+  Term ApplyOnce(const Term& t) const;
+  Atom ApplyOnce(const Atom& a) const;
+  Comparison ApplyOnce(const Comparison& c) const;
+
+  const std::unordered_map<SymbolId, Term>& map() const { return map_; }
+
+ private:
+  std::unordered_map<SymbolId, Term> map_;
+};
+
+/// Computes the most general unifier of `a` and `b` (with occurs check),
+/// extending `subst` in place. Returns false if unification fails; on
+/// failure `subst` may be partially extended and should be discarded.
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+/// Unifies two atoms (same predicate and arity required).
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* subst);
+
+/// Renames every variable of `rule` to a fresh variable from `interner`,
+/// making it variable-disjoint from everything interned so far.
+Rule RenameApart(const Rule& rule, Interner* interner);
+
+/// One-way matching of a rule term pattern against a ground term, extending
+/// `subst`. Unlike unification the right side contributes no variables.
+bool MatchTermAgainstGround(const Term& pattern, const Term& ground,
+                            Substitution* subst);
+
+/// Matches an atom's arguments against a ground tuple of the same arity.
+bool MatchAtomAgainstGround(const Atom& pattern,
+                            const std::vector<Term>& tuple,
+                            Substitution* subst);
+
+}  // namespace relcont
+
+#endif  // RELCONT_DATALOG_SUBSTITUTION_H_

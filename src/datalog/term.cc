@@ -1,0 +1,141 @@
+#include "datalog/term.h"
+#include <cctype>
+
+namespace relcont {
+
+std::string Value::ToString(const Interner& interner) const {
+  if (kind_ == Kind::kNumber) return number_.ToString();
+  // Quote symbols that would not re-parse as plain lower-case identifiers
+  // ("red" prints bare, "two words" or "Weird" print quoted).
+  const std::string& name = interner.NameOf(symbol_);
+  bool plain = !name.empty() && name[0] >= 'a' && name[0] <= 'z';
+  for (char c : name) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      plain = false;
+      break;
+    }
+  }
+  return plain ? name : "'" + name + "'";
+}
+
+Term Term::Function(SymbolId name, std::vector<Term> args) {
+  Term t;
+  t.kind_ = Kind::kFunction;
+  t.symbol_ = name;
+  t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
+  return t;
+}
+
+bool Term::IsGround() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return false;
+    case Kind::kConstant:
+      return true;
+    case Kind::kFunction:
+      for (const Term& a : *args_) {
+        if (!a.IsGround()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+bool Term::ContainsFunction() const {
+  return kind_ == Kind::kFunction;
+}
+
+bool Term::ContainsVar(SymbolId var) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return symbol_ == var;
+    case Kind::kConstant:
+      return false;
+    case Kind::kFunction:
+      for (const Term& a : *args_) {
+        if (a.ContainsVar(var)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void Term::CollectVars(std::vector<SymbolId>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->push_back(symbol_);
+      return;
+    case Kind::kConstant:
+      return;
+    case Kind::kFunction:
+      for (const Term& a : *args_) a.CollectVars(out);
+      return;
+  }
+}
+
+std::string Term::ToString(const Interner& interner) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return interner.NameOf(symbol_);
+    case Kind::kConstant:
+      return value_.ToString(interner);
+    case Kind::kFunction: {
+      std::string out = interner.NameOf(symbol_);
+      out += '(';
+      for (size_t i = 0; i < args_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*args_)[i].ToString(interner);
+      }
+      out += ')';
+      return out;
+    }
+  }
+  return "<invalid>";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Term::Kind::kVariable:
+      return a.symbol_ == b.symbol_;
+    case Term::Kind::kConstant:
+      return a.value_ == b.value_;
+    case Term::Kind::kFunction:
+      return a.symbol_ == b.symbol_ && *a.args_ == *b.args_;
+  }
+  return false;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  switch (a.kind_) {
+    case Term::Kind::kVariable:
+      return a.symbol_ < b.symbol_;
+    case Term::Kind::kConstant:
+      return a.value_ < b.value_;
+    case Term::Kind::kFunction:
+      if (a.symbol_ != b.symbol_) return a.symbol_ < b.symbol_;
+      return *a.args_ < *b.args_;
+  }
+  return false;
+}
+
+size_t Term::Hash() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return static_cast<size_t>(symbol_) * 0x9e3779b97f4a7c15ull + 11;
+    case Kind::kConstant:
+      return value_.Hash();
+    case Kind::kFunction: {
+      size_t h = static_cast<size_t>(symbol_) * 0x9e3779b97f4a7c15ull + 29;
+      for (const Term& a : *args_) {
+        h ^= a.Hash();
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+}  // namespace relcont

@@ -1,0 +1,155 @@
+#ifndef RELCONT_DATALOG_TERM_H_
+#define RELCONT_DATALOG_TERM_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/rational.h"
+
+namespace relcont {
+
+/// The payload of a constant term: either a number (dense-order domain used
+/// by comparison predicates) or an uninterpreted symbolic constant ("red").
+class Value {
+ public:
+  enum class Kind { kNumber, kSymbol };
+
+  /// The number 0.
+  Value() : kind_(Kind::kNumber), number_(0), symbol_(kInvalidSymbol) {}
+
+  static Value Number(Rational r) {
+    Value v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = r;
+    return v;
+  }
+  static Value Symbol(SymbolId s) {
+    Value v;
+    v.kind_ = Kind::kSymbol;
+    v.symbol_ = s;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  const Rational& number() const { return number_; }
+  SymbolId symbol() const { return symbol_; }
+
+  std::string ToString(const Interner& interner) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    return a.kind_ == Kind::kNumber ? a.number_ == b.number_
+                                    : a.symbol_ == b.symbol_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Arbitrary-but-total order, used for canonical forms. Numbers sort
+  /// before symbols; this is *not* the dense-order comparison used by
+  /// comparison predicates (symbols are not comparable there).
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    if (a.kind_ == Kind::kNumber) return a.number_ < b.number_;
+    return a.symbol_ < b.symbol_;
+  }
+
+  size_t Hash() const {
+    return kind_ == Kind::kNumber
+               ? number_.Hash() * 3u
+               : static_cast<size_t>(symbol_) * 2654435761u + 1u;
+  }
+
+ private:
+  Kind kind_;
+  Rational number_;
+  SymbolId symbol_;
+};
+
+/// A datalog term: a variable, a constant, or a (Skolem) function term.
+/// Function terms arise only inside query plans produced by the inverse
+/// rules algorithm; user queries and views never contain them.
+///
+/// Terms are immutable values; function-term argument vectors are shared.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant, kFunction };
+
+  /// Default-constructs the number 0 (needed for container use).
+  Term() : kind_(Kind::kConstant), symbol_(kInvalidSymbol) {}
+
+  static Term Var(SymbolId name) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.symbol_ = name;
+    return t;
+  }
+  static Term Constant(Value v) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.value_ = v;
+    return t;
+  }
+  static Term Number(Rational r) { return Constant(Value::Number(r)); }
+  static Term Symbol(SymbolId s) { return Constant(Value::Symbol(s)); }
+  static Term Function(SymbolId name, std::vector<Term> args);
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+  bool is_function() const { return kind_ == Kind::kFunction; }
+
+  /// Variable name or function symbol; invalid for constants.
+  SymbolId symbol() const { return symbol_; }
+  /// Constant payload; only valid for constants.
+  const Value& value() const { return value_; }
+  /// Function arguments; only valid for function terms.
+  const std::vector<Term>& args() const { return *args_; }
+
+  /// True iff no variable occurs in the term.
+  bool IsGround() const;
+  /// True iff a function symbol occurs anywhere in the term.
+  bool ContainsFunction() const;
+  /// True iff variable `var` occurs anywhere in the term.
+  bool ContainsVar(SymbolId var) const;
+  /// Appends every variable occurring in the term to `out` (with repeats).
+  void CollectVars(std::vector<SymbolId>* out) const;
+
+  std::string ToString(const Interner& interner) const;
+
+  friend bool operator==(const Term& a, const Term& b);
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  /// Total order for canonical forms.
+  friend bool operator<(const Term& a, const Term& b);
+
+  size_t Hash() const;
+
+ private:
+  Kind kind_;
+  SymbolId symbol_ = kInvalidSymbol;
+  Value value_;
+  std::shared_ptr<const std::vector<Term>> args_;
+};
+
+/// Hash functor for unordered containers of terms.
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+/// Hash functor for tuples of terms (database rows, atom argument lists).
+struct TermVecHash {
+  size_t operator()(const std::vector<Term>& ts) const {
+    size_t h = 1469598103934665603ull;
+    for (const Term& t : ts) {
+      h ^= t.Hash();
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_DATALOG_TERM_H_

@@ -1,0 +1,30 @@
+#ifndef RELCONT_DATALOG_UNFOLD_H_
+#define RELCONT_DATALOG_UNFOLD_H_
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// Options for unfolding nonrecursive programs.
+struct UnfoldOptions {
+  /// Hard cap on the number of produced disjuncts (the number can be
+  /// exponential in program size, e.g. in the Theorem 3.3 reduction).
+  int64_t max_disjuncts = 1'000'000;
+};
+
+/// Unfolds the nonrecursive `program` into an equivalent union of
+/// conjunctive queries for the predicate `goal`: every IDB subgoal is
+/// resolved against its defining rules until only EDB subgoals remain.
+/// Comparison subgoals are carried along (with the unifier applied).
+///
+/// Unification-based resolution handles Skolem function terms, so this
+/// also unfolds the query plans produced by the inverse-rules algorithm.
+/// Fails with kUnsupported on recursive programs.
+Result<UnionQuery> UnfoldToUnion(const Program& program, SymbolId goal,
+                                 Interner* interner,
+                                 const UnfoldOptions& options = {});
+
+}  // namespace relcont
+
+#endif  // RELCONT_DATALOG_UNFOLD_H_

@@ -1,0 +1,138 @@
+#include "eval/database.h"
+
+#include "datalog/parser.h"
+
+namespace relcont {
+
+bool Database::Add(SymbolId predicate, Tuple tuple) {
+  Relation& rel = relations_[predicate];
+  auto [it, inserted] = rel.index.insert(tuple);
+  (void)it;
+  if (inserted) {
+    if (rel.by_column.size() < tuple.size()) {
+      rel.by_column.resize(tuple.size());
+    }
+    int32_t position = static_cast<int32_t>(rel.tuples.size());
+    for (size_t c = 0; c < tuple.size(); ++c) {
+      rel.by_column[c][tuple[c].Hash()].push_back(position);
+    }
+    rel.tuples.push_back(std::move(tuple));
+    ++total_facts_;
+  }
+  return inserted;
+}
+
+const std::vector<int32_t>* Database::MatchingTuples(SymbolId predicate,
+                                                     int column,
+                                                     const Term& value) const {
+  static const std::vector<int32_t> kEmpty;
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return &kEmpty;
+  const Relation& rel = it->second;
+  if (column < 0 || column >= static_cast<int>(rel.by_column.size())) {
+    return nullptr;
+  }
+  auto hit = rel.by_column[column].find(value.Hash());
+  return hit == rel.by_column[column].end() ? &kEmpty : &hit->second;
+}
+
+bool Database::Contains(SymbolId predicate, const Tuple& tuple) const {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second.index.count(tuple) > 0;
+}
+
+const std::vector<Tuple>& Database::Tuples(SymbolId predicate) const {
+  static const std::vector<Tuple> kEmpty;
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? kEmpty : it->second.tuples;
+}
+
+std::set<SymbolId> Database::Predicates() const {
+  std::set<SymbolId> out;
+  for (const auto& [pred, rel] : relations_) {
+    if (!rel.tuples.empty()) out.insert(pred);
+  }
+  return out;
+}
+
+namespace {
+void CollectValues(const Term& t, std::vector<Value>* out) {
+  if (t.is_constant()) {
+    out->push_back(t.value());
+  } else if (t.is_function()) {
+    for (const Term& a : t.args()) CollectValues(a, out);
+  }
+}
+}  // namespace
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> all;
+  for (const auto& [pred, rel] : relations_) {
+    (void)pred;
+    for (const Tuple& t : rel.tuples) {
+      for (const Term& term : t) CollectValues(term, &all);
+    }
+  }
+  // Deduplicate preserving order.
+  std::vector<Value> out;
+  for (const Value& v : all) {
+    bool seen = false;
+    for (const Value& w : out) {
+      if (v == w) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(v);
+  }
+  return out;
+}
+
+void Database::UnionWith(const Database& other) {
+  for (const auto& [pred, rel] : other.relations_) {
+    for (const Tuple& t : rel.tuples) Add(pred, t);
+  }
+}
+
+bool Database::SameFactsAs(const Database& other) const {
+  return SubsetOf(other) && other.SubsetOf(*this);
+}
+
+bool Database::SubsetOf(const Database& other) const {
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples) {
+      if (!other.Contains(pred, t)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Database::ToString(const Interner& interner) const {
+  std::string out;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples) {
+      Atom a(pred, t);
+      out += a.ToString(interner);
+      out += ".\n";
+    }
+  }
+  return out;
+}
+
+Result<Database> ParseDatabase(std::string_view text, Interner* interner) {
+  RELCONT_ASSIGN_OR_RETURN(Program program, ParseProgram(text, interner));
+  Database db;
+  for (const Rule& r : program.rules) {
+    if (!r.body.empty() || !r.comparisons.empty()) {
+      return Status::InvalidArgument("database text may contain only facts");
+    }
+    if (!r.head.IsGround()) {
+      return Status::InvalidArgument("facts must be ground");
+    }
+    db.Add(r.head);
+  }
+  return db;
+}
+
+}  // namespace relcont

@@ -1,0 +1,87 @@
+#ifndef RELCONT_EVAL_DATABASE_H_
+#define RELCONT_EVAL_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// A ground tuple. Entries are ground terms: constants, or (inside query
+/// plans) Skolem function terms over constants.
+using Tuple = std::vector<Term>;
+
+/// A set of ground facts keyed by predicate. Used both for source (view)
+/// instances and for databases over the mediated schema.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a fact. The tuple must be ground; returns true if it was new.
+  bool Add(SymbolId predicate, Tuple tuple);
+  /// Adds a ground atom.
+  bool Add(const Atom& fact) { return Add(fact.predicate, fact.args); }
+
+  bool Contains(SymbolId predicate, const Tuple& tuple) const;
+  bool Contains(const Atom& fact) const {
+    return Contains(fact.predicate, fact.args);
+  }
+
+  /// Tuples of `predicate` in insertion order (empty if unknown predicate).
+  const std::vector<Tuple>& Tuples(SymbolId predicate) const;
+
+  /// Indices (into Tuples(predicate)) of tuples whose `column`-th entry
+  /// hashes like `value` — a superset of the exact matches, for join
+  /// pruning; callers must still verify equality. Returns nullptr when the
+  /// predicate is unknown or the column is out of range.
+  const std::vector<int32_t>* MatchingTuples(SymbolId predicate, int column,
+                                             const Term& value) const;
+
+  /// Predicates that have at least one fact.
+  std::set<SymbolId> Predicates() const;
+
+  int64_t TotalFacts() const { return total_facts_; }
+  /// Number of tuples for one predicate.
+  int64_t Count(SymbolId predicate) const {
+    return static_cast<int64_t>(Tuples(predicate).size());
+  }
+
+  /// All distinct constant values appearing in any tuple (recursing into
+  /// function terms).
+  std::vector<Value> ActiveDomain() const;
+
+  /// Merges all facts of `other` into this database.
+  void UnionWith(const Database& other);
+
+  /// True if both databases contain exactly the same facts.
+  bool SameFactsAs(const Database& other) const;
+
+  /// True if every fact of this database is in `other`.
+  bool SubsetOf(const Database& other) const;
+
+  std::string ToString(const Interner& interner) const;
+
+ private:
+  struct Relation {
+    std::vector<Tuple> tuples;
+    std::unordered_set<Tuple, TermVecHash> index;
+    // Per column: value hash -> tuple positions (join acceleration).
+    std::vector<std::unordered_map<size_t, std::vector<int32_t>>> by_column;
+  };
+
+  std::map<SymbolId, Relation> relations_;
+  int64_t total_facts_ = 0;
+};
+
+/// Parses a database from fact syntax ("p(1, red). q(2)."). Fails if any
+/// rule has a body or a non-ground head.
+Result<Database> ParseDatabase(std::string_view text, Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_EVAL_DATABASE_H_

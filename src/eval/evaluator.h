@@ -1,0 +1,49 @@
+#ifndef RELCONT_EVAL_EVALUATOR_H_
+#define RELCONT_EVAL_EVALUATOR_H_
+
+#include "eval/database.h"
+
+namespace relcont {
+
+/// Tuning knobs and safety bounds for bottom-up evaluation.
+struct EvalOptions {
+  /// Facts whose terms nest Skolem functions deeper than this are not
+  /// derived. Inverse-rule plans never nest Skolems, so the default is
+  /// generous; the bound exists to guarantee termination on arbitrary
+  /// recursive programs with function terms.
+  int max_term_depth = 8;
+  /// Hard cap on the number of derived facts.
+  int64_t max_facts = 10'000'000;
+  /// Use per-column hash indexes for join pruning (ablation switch; the
+  /// bench_ablation harness measures the difference).
+  bool use_index = true;
+};
+
+/// The outcome of evaluating a program.
+struct EvalResult {
+  /// EDB facts plus every derived IDB fact.
+  Database database;
+  /// True if max_term_depth suppressed any derivation (the result is then a
+  /// sound under-approximation of the fixpoint).
+  bool depth_truncated = false;
+  /// Number of semi-naive iterations executed.
+  int iterations = 0;
+};
+
+/// Computes the minimal model of `program` over `edb` by semi-naive
+/// bottom-up evaluation. Comparison subgoals are evaluated over the dense
+/// numeric order; Skolem function terms in rule heads are constructed as
+/// syntactic values. Fails with kBoundReached if max_facts is exceeded.
+Result<EvalResult> Evaluate(const Program& program, const Database& edb,
+                            const EvalOptions& options = {});
+
+/// Evaluates `program` and returns the derived tuples of `goal`, excluding
+/// tuples that contain Skolem function terms (which do not denote ground
+/// certain answers — see Duschka–Genesereth–Levy).
+Result<std::vector<Tuple>> EvaluateGoal(const Program& program, SymbolId goal,
+                                        const Database& edb,
+                                        const EvalOptions& options = {});
+
+}  // namespace relcont
+
+#endif  // RELCONT_EVAL_EVALUATOR_H_

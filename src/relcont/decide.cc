@@ -1,0 +1,88 @@
+#include "relcont/decide.h"
+
+namespace relcont {
+
+namespace {
+
+bool HasComparisons(const Program& p) {
+  for (const Rule& r : p.rules) {
+    if (!r.comparisons.empty()) return true;
+  }
+  return false;
+}
+
+bool HasComparisons(const ViewSet& views) {
+  for (const ViewDefinition& v : views.views()) {
+    if (!v.rule.comparisons.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Decision> DecideRelativeContainment(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    const BindingPatterns& patterns, Interner* interner,
+    const DecideOptions& options) {
+  bool comparisons = HasComparisons(q1.program) || HasComparisons(q2.program) ||
+                     HasComparisons(views);
+  Decision out;
+  if (!patterns.empty()) {
+    if (comparisons) {
+      return Status::Unsupported(
+          "binding patterns combined with comparison predicates are outside "
+          "the paper's decidable fragments");
+    }
+    RELCONT_ASSIGN_OR_RETURN(
+        BindingRelativeResult r,
+        RelativelyContainedWithBindingPatterns(q1, q2, views, patterns,
+                                               interner, options.dom));
+    out.contained = r.contained;
+    out.regime = "section4";
+    out.witness = r.counterexample;
+    return out;
+  }
+  if (comparisons) {
+    if (!HasComparisons(q1.program)) {
+      RelativeContainmentOptions rel_opts;
+      rel_opts.unfold = options.unfold;
+      RELCONT_ASSIGN_OR_RETURN(
+          bool contained,
+          RelativelyContainedViaExpansion(q1, q2, views, interner, rel_opts));
+      out.contained = contained;
+      out.regime = "theorem52";
+      return out;
+    }
+    RelativeContainmentOptions rel_opts;
+    rel_opts.unfold = options.unfold;
+    RELCONT_ASSIGN_OR_RETURN(
+        RelativeContainmentResult r,
+        RelativelyContainedWithComparisons(q1, q2, views, interner, rel_opts));
+    out.contained = r.contained;
+    out.regime = "theorem51";
+    out.witness = r.witness;
+    return out;
+  }
+  if (q1.program.IsRecursive() || q2.program.IsRecursive()) {
+    OneRecursiveOptions rec_opts;
+    rec_opts.unfold = options.unfold;
+    rec_opts.max_rule_applications = options.max_rule_applications;
+    RELCONT_ASSIGN_OR_RETURN(
+        bool contained,
+        RelativelyContainedOneRecursive(q1, q2, views, interner, rec_opts));
+    out.contained = contained;
+    out.regime = "theorem32";
+    return out;
+  }
+  RelativeContainmentOptions rel_opts;
+  rel_opts.unfold = options.unfold;
+  RELCONT_ASSIGN_OR_RETURN(
+      RelativeContainmentResult r,
+      RelativelyContained(q1, q2, views, interner, rel_opts));
+  out.contained = r.contained;
+  out.regime = "section3";
+  out.witness = r.witness;
+  return out;
+}
+
+}  // namespace relcont

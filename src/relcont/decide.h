@@ -1,0 +1,49 @@
+#ifndef RELCONT_RELCONT_DECIDE_H_
+#define RELCONT_RELCONT_DECIDE_H_
+
+#include "binding/adornment.h"
+#include "relcont/binding_containment.h"
+#include "relcont/relative_containment.h"
+
+namespace relcont {
+
+/// The front door: decides Q1 ⊑_V Q2 by dispatching to the right regime of
+/// the paper automatically.
+///
+///   * binding patterns present         -> Section 4 (Theorems 4.1/4.2)
+///   * any comparison predicates        -> Section 5 (Theorem 5.2 when Q1
+///                                         is comparison-free, else the
+///                                         Theorem 5.1 plan route)
+///   * a recursive query                -> Theorem 3.2
+///   * otherwise                        -> Section 3 (Theorem 3.1)
+///
+/// Binding patterns cannot currently be combined with comparison
+/// predicates (neither does the paper combine them); that mix reports
+/// kUnsupported.
+struct DecideOptions {
+  UnfoldOptions unfold;
+  /// Forwarded to the Section 4 decision procedure.
+  DomContainmentOptions dom;
+  /// Forwarded to the Theorem 3.2 recursive-Q1 direction.
+  int max_rule_applications = 12;
+};
+
+struct Decision {
+  bool contained = false;
+  /// Which regime decided (for diagnostics): "section3", "theorem32",
+  /// "section4", "theorem51", "theorem52".
+  const char* regime = "";
+  /// A witness when not contained and the regime produces one: a plan
+  /// disjunct (section3/theorem51) or a counterexample expansion
+  /// (section4).
+  std::optional<Rule> witness;
+};
+
+Result<Decision> DecideRelativeContainment(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    const BindingPatterns& patterns, Interner* interner,
+    const DecideOptions& options = {});
+
+}  // namespace relcont
+
+#endif  // RELCONT_RELCONT_DECIDE_H_

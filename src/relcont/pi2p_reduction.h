@@ -1,0 +1,64 @@
+#ifndef RELCONT_RELCONT_PI2P_REDUCTION_H_
+#define RELCONT_RELCONT_PI2P_REDUCTION_H_
+
+#include <cstdint>
+
+#include "relcont/relative_containment.h"
+
+namespace relcont {
+
+/// The ∀∃-3CNF ("∀∃-CNF") problem and its reduction to relative
+/// containment — the Theorem 3.3 lower-bound construction, reproduced here
+/// both as a correctness test bed (the decision procedure must agree with
+/// brute-force ∀∃ evaluation) and as the hard-instance workload generator
+/// for the complexity-shape benchmarks.
+
+/// A literal over the formula's variables. Existential variables have
+/// indices 0..num_exists-1; universal variables num_exists..num_exists +
+/// num_forall - 1.
+struct QbfLiteral {
+  int variable = 0;
+  bool negated = false;
+};
+
+/// A 3-literal clause; the three variables must be pairwise distinct.
+struct QbfClause {
+  QbfLiteral literals[3];
+};
+
+/// A formula  ∀y ∃x  F(x, y)  with F in 3-CNF.
+struct QbfFormula {
+  int num_exists = 0;
+  int num_forall = 0;
+  std::vector<QbfClause> clauses;
+
+  int num_variables() const { return num_exists + num_forall; }
+};
+
+/// Brute-force evaluation of  ∀y ∃x F  (exponential; used as the oracle).
+bool ForallExistsSatisfiable(const QbfFormula& formula);
+
+/// Brute-force plain satisfiability of F (all variables existential).
+bool Satisfiable(const QbfFormula& formula);
+
+/// The Theorem 3.3 instance: F is ∀∃-satisfiable  ⇔  q2 ⊑_V q1, and
+/// (Aho–Sagiv–Ullman) F is satisfiable  ⇔  rule(q2) ⊑ rule(q1) classically.
+struct Pi2pInstance {
+  GoalQuery q1;
+  GoalQuery q2;
+  ViewSet views;
+};
+
+/// Builds the reduction. Fails if a clause repeats a variable or the
+/// formula is empty.
+Result<Pi2pInstance> BuildPi2pReduction(const QbfFormula& formula,
+                                        Interner* interner);
+
+/// A reproducible random ∀∃-3CNF formula (clauses drawn uniformly over
+/// pairwise-distinct variables and random polarities).
+QbfFormula RandomQbf(int num_exists, int num_forall, int num_clauses,
+                     uint64_t seed);
+
+}  // namespace relcont
+
+#endif  // RELCONT_RELCONT_PI2P_REDUCTION_H_

@@ -1,0 +1,183 @@
+#include "relcont/relative_containment.h"
+
+#include "binding/dom_plan.h"
+#include "containment/canonical.h"
+#include "containment/comparison_containment.h"
+#include "containment/cq_containment.h"
+#include "containment/expansion.h"
+#include "rewriting/comparison_plans.h"
+#include "rewriting/inverse_rules.h"
+
+namespace relcont {
+
+Result<RelativeContainmentResult> RelativelyContained(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options) {
+  RELCONT_ASSIGN_OR_RETURN(Program p1,
+                           MaximallyContainedPlan(q1.program, views, interner));
+  RELCONT_ASSIGN_OR_RETURN(Program p2,
+                           MaximallyContainedPlan(q2.program, views, interner));
+  RelativeContainmentResult out;
+  RELCONT_ASSIGN_OR_RETURN(
+      out.plan1, PlanToUnion(p1, q1.goal, views, interner, options.unfold));
+  RELCONT_ASSIGN_OR_RETURN(
+      out.plan2, PlanToUnion(p2, q2.goal, views, interner, options.unfold));
+  out.contained = true;
+  for (const Rule& d : out.plan1.disjuncts) {
+    RELCONT_ASSIGN_OR_RETURN(bool contained,
+                             CqContainedInUnion(d, out.plan2));
+    if (!contained) {
+      out.contained = false;
+      out.witness = d;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<bool> RelativelyEquivalent(const GoalQuery& q1, const GoalQuery& q2,
+                                  const ViewSet& views, Interner* interner,
+                                  const RelativeContainmentOptions& options) {
+  RELCONT_ASSIGN_OR_RETURN(RelativeContainmentResult forward,
+                           RelativelyContained(q1, q2, views, interner,
+                                               options));
+  if (!forward.contained) return false;
+  RELCONT_ASSIGN_OR_RETURN(RelativeContainmentResult backward,
+                           RelativelyContained(q2, q1, views, interner,
+                                               options));
+  return backward.contained;
+}
+
+Result<bool> RelativelyContainedOneRecursive(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const OneRecursiveOptions& options) {
+  bool q1_recursive = q1.program.IsRecursive();
+  bool q2_recursive = q2.program.IsRecursive();
+  if (q1_recursive && q2_recursive) {
+    return Status::Unsupported(
+        "Theorem 3.2 requires at most one recursive query; containment of "
+        "two recursive datalog programs is undecidable [Shmueli]");
+  }
+  if (!q1_recursive && !q2_recursive) {
+    RELCONT_ASSIGN_OR_RETURN(RelativeContainmentResult plain,
+                             RelativelyContained(q1, q2, views, interner));
+    return plain.contained;
+  }
+  if (q2_recursive) {
+    // Exact: UCQ plan of Q1 contained in the recursive plan of Q2, by
+    // canonical databases.
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p1, MaximallyContainedPlan(q1.program, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        UnionQuery plan1,
+        PlanToUnion(p1, q1.goal, views, interner, options.unfold));
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p2, MaximallyContainedPlan(q2.program, views, interner));
+    return UnionContainedInDatalog(plan1, p2, q2.goal, interner);
+  }
+  // Q1 recursive: P1^exp ⊑ Q2 via bounded expansion search. Build the
+  // expansion with the binding-pattern machinery (empty pattern set) so
+  // the plan's mediated relations are renamed apart from the stored ones,
+  // then drop the unused dom apparatus.
+  BindingPatterns no_patterns;
+  RELCONT_ASSIGN_OR_RETURN(
+      ExecutablePlanResult plan,
+      ExecutablePlan(q1.program, views, no_patterns, interner));
+  RELCONT_ASSIGN_OR_RETURN(
+      Program p1_exp,
+      ExpandExecutablePlanForContainment(plan, q1.goal, views, interner));
+  Program pruned;
+  for (Rule& r : p1_exp.rules) {
+    if (r.head.predicate != plan.dom_predicate) {
+      pruned.rules.push_back(std::move(r));
+    }
+  }
+  RELCONT_ASSIGN_OR_RETURN(
+      UnionQuery q2_ucq,
+      UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  ExpansionOptions bounds;
+  bounds.max_rule_applications = options.max_rule_applications;
+  bounds.max_expansions = options.max_expansions;
+  return DatalogContainedInUcqBounded(pruned, q1.goal, q2_ucq, interner,
+                                      bounds);
+}
+
+Result<std::set<SymbolId>> RelevantSources(const GoalQuery& query,
+                                           const ViewSet& views,
+                                           Interner* interner) {
+  RELCONT_ASSIGN_OR_RETURN(
+      Program plan, MaximallyContainedPlan(query.program, views, interner));
+  RELCONT_ASSIGN_OR_RETURN(UnionQuery full,
+                           PlanToUnion(plan, query.goal, views, interner));
+  std::set<SymbolId> relevant;
+  for (const ViewDefinition& dropped : views.views()) {
+    ViewSet fewer;
+    for (const ViewDefinition& v : views.views()) {
+      if (v.source_predicate() != dropped.source_predicate()) {
+        RELCONT_RETURN_NOT_OK(fewer.Add(v));
+      }
+    }
+    RELCONT_ASSIGN_OR_RETURN(
+        Program reduced_plan,
+        MaximallyContainedPlan(query.program, fewer, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        UnionQuery reduced,
+        PlanToUnion(reduced_plan, query.goal, fewer, interner));
+    // The reduced plan is always contained in the full one; the source is
+    // relevant iff the converse fails.
+    RELCONT_ASSIGN_OR_RETURN(bool same, UnionContainedInUnion(full, reduced));
+    if (!same) relevant.insert(dropped.source_predicate());
+  }
+  return relevant;
+}
+
+Result<bool> RelativelyContainedViaExpansion(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options) {
+  for (const Rule& r : q1.program.rules) {
+    if (!r.comparisons.empty()) {
+      return Status::Unsupported(
+          "Theorem 5.2 requires the contained query to be comparison-free");
+    }
+  }
+  RELCONT_ASSIGN_OR_RETURN(Program p1,
+                           MaximallyContainedPlan(q1.program, views, interner));
+  RELCONT_ASSIGN_OR_RETURN(
+      UnionQuery plan1, PlanToUnion(p1, q1.goal, views, interner,
+                                    options.unfold));
+  RELCONT_ASSIGN_OR_RETURN(UnionQuery p1_exp,
+                           ExpandUnionPlan(plan1, views, interner));
+  RELCONT_ASSIGN_OR_RETURN(
+      UnionQuery q2_ucq,
+      UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  return UnionContainedInUnionComplete(p1_exp, q2_ucq);
+}
+
+Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options) {
+  RelativeContainmentResult out;
+  RELCONT_ASSIGN_OR_RETURN(
+      out.plan1, ComparisonAwarePlan(q1.program, q1.goal, views, interner,
+                                     options.unfold));
+  RELCONT_ASSIGN_OR_RETURN(
+      out.plan2, ComparisonAwarePlan(q2.program, q2.goal, views, interner,
+                                     options.unfold));
+  out.contained = true;
+  for (const Rule& d : out.plan1.disjuncts) {
+    // Compare over consistent instances: the left disjunct may assume every
+    // comparison its views guarantee.
+    RELCONT_ASSIGN_OR_RETURN(Rule augmented,
+                             AugmentWithViewConstraints(d, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(bool contained,
+                             CqContainedInUnionComplete(augmented, out.plan2));
+    if (!contained) {
+      out.contained = false;
+      out.witness = d;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace relcont

@@ -1,0 +1,108 @@
+#ifndef RELCONT_RELCONT_RELATIVE_CONTAINMENT_H_
+#define RELCONT_RELCONT_RELATIVE_CONTAINMENT_H_
+
+#include "datalog/unfold.h"
+#include "rewriting/views.h"
+
+namespace relcont {
+
+/// Relative containment, Definition 2.3:  Q1 ⊑_V Q2  iff for every source
+/// instance I, certain(Q1, I) ⊆ certain(Q2, I).
+///
+/// This header covers Section 3: positive (nonrecursive, comparison-free)
+/// queries over conjunctive views with incomplete sources. The decision
+/// procedure follows Theorem 3.1: build each query's maximally-contained
+/// plan with the inverse rules, eliminate function terms, unfold to UCQs
+/// over the sources, and test UCQ containment — Π₂ᴾ overall (the unfolded
+/// plans can be exponentially large, each disjunct check is an NP
+/// containment-mapping search), which Theorem 3.3 shows is optimal.
+
+/// A query paired with its goal predicate.
+struct GoalQuery {
+  Program program;
+  SymbolId goal = kInvalidSymbol;
+};
+
+struct RelativeContainmentOptions {
+  UnfoldOptions unfold;
+};
+
+/// Detailed outcome of a relative-containment decision.
+struct RelativeContainmentResult {
+  bool contained = false;
+  /// The function-term-free UCQ plans over the sources used in the check.
+  UnionQuery plan1;
+  UnionQuery plan2;
+  /// A witness disjunct of plan1 not contained in plan2 (set when
+  /// !contained): evaluating it on its frozen body yields a source instance
+  /// where certain(Q1) ⊄ certain(Q2).
+  std::optional<Rule> witness;
+};
+
+/// Decides Q1 ⊑_V Q2 (Theorem 3.1 procedure). Queries must be
+/// nonrecursive, comparison-free, and posed over the mediated schema.
+Result<RelativeContainmentResult> RelativelyContained(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options = {});
+
+/// Convenience: both directions.
+Result<bool> RelativelyEquivalent(const GoalQuery& q1, const GoalQuery& q2,
+                                  const ViewSet& views, Interner* interner,
+                                  const RelativeContainmentOptions& options = {});
+
+/// Section 5, Theorems 5.2/5.3: Q1 positive and comparison-free; Q2 and the
+/// views may contain arbitrary comparison predicates. Decides Q1 ⊑_V Q2 by
+/// the reduction  Q1 ⊑_V Q2  ⇔  P1^exp ⊑ Q2 , where P1 is Q1's
+/// maximally-contained plan; the right-hand side is ordinary containment of
+/// UCQs with comparisons (in Π₂ᴾ; the bound is tight by Theorem 3.3).
+Result<bool> RelativelyContainedViaExpansion(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options = {});
+
+/// Theorem 3.2: relative containment is decidable when at most one of the
+/// two queries is recursive. The two directions differ sharply:
+///
+///  * Q2 recursive (Q1 nonrecursive): exact — Q1's plan unfolds to a UCQ,
+///    whose containment in Q2's recursive plan is decided by freezing each
+///    disjunct and evaluating the plan (canonical databases).
+///
+///  * Q1 recursive (Q2 nonrecursive): the check is P1^exp ⊑ Q2 (the
+///    Theorem 4.1 analogue the paper notes for the unrestricted setting).
+///    Chaudhuri–Vardi makes this decidable in general; this implementation
+///    answers definitively when Q1's recursion fits the dom shape or a
+///    counterexample expansion exists within `expansion_bounds`, and
+///    reports kBoundReached otherwise.
+struct OneRecursiveOptions {
+  UnfoldOptions unfold;
+  /// Bounds for the recursive-Q1 direction's expansion search.
+  int max_rule_applications = 12;
+  int64_t max_expansions = 200'000;
+};
+
+Result<bool> RelativelyContainedOneRecursive(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const OneRecursiveOptions& options = {});
+
+/// The sources that MATTER for a (nonrecursive, comparison-free) query:
+/// dropping an irrelevant source provably never changes the query's
+/// certain answers (the maximally-contained plan stays equivalent). This
+/// serves the introduction's "coverage and limitations" use case and the
+/// update-independence application: certain answers are independent of
+/// updates to irrelevant sources.
+Result<std::set<SymbolId>> RelevantSources(const GoalQuery& query,
+                                           const ViewSet& views,
+                                           Interner* interner);
+
+/// Section 5, Theorem 5.1: both queries positive with comparison
+/// predicates, views conjunctive with comparison predicates. Builds both
+/// comparison-aware maximally-contained plans and compares them over
+/// consistent source instances (each left disjunct is augmented with the
+/// comparisons its views guarantee). Complete for the semi-interval
+/// fragment the theorem covers; sound in general.
+Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options = {});
+
+}  // namespace relcont
+
+#endif  // RELCONT_RELCONT_RELATIVE_CONTAINMENT_H_

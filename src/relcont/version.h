@@ -1,0 +1,14 @@
+#ifndef RELCONT_RELCONT_VERSION_H_
+#define RELCONT_RELCONT_VERSION_H_
+
+namespace relcont {
+
+/// Library version, bumped per release.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace relcont
+
+#endif  // RELCONT_RELCONT_VERSION_H_

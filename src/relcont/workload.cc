@@ -1,0 +1,149 @@
+#include "relcont/workload.h"
+
+#include <random>
+#include <string>
+
+namespace relcont {
+
+namespace {
+
+Term RandomTerm(std::mt19937_64* rng, const RandomQueryOptions& options,
+                Interner* interner) {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(*rng) < options.constant_probability) {
+    std::uniform_int_distribution<int> c(0, 2);
+    return Term::Number(Rational(c(*rng)));
+  }
+  std::uniform_int_distribution<int> v(0, options.num_variables - 1);
+  return Term::Var(interner->Intern("V" + std::to_string(v(*rng))));
+}
+
+}  // namespace
+
+Rule RandomConjunctiveQuery(const RandomQueryOptions& options,
+                            std::string_view head_name, Interner* interner) {
+  std::mt19937_64 rng(options.seed);
+  Rule rule;
+  std::uniform_int_distribution<int> pred(0, options.num_predicates - 1);
+  for (int i = 0; i < options.num_atoms; ++i) {
+    Atom atom;
+    atom.predicate = interner->Intern("p" + std::to_string(pred(rng)));
+    for (int j = 0; j < options.arity; ++j) {
+      atom.args.push_back(RandomTerm(&rng, options, interner));
+    }
+    rule.body.push_back(std::move(atom));
+  }
+  // Head variables drawn from the body (safety).
+  std::vector<SymbolId> body_vars = rule.BodyVariables();
+  rule.head.predicate = interner->Intern(std::string(head_name));
+  if (!body_vars.empty()) {
+    std::uniform_int_distribution<size_t> pick(0, body_vars.size() - 1);
+    for (int i = 0; i < options.head_arity; ++i) {
+      rule.head.args.push_back(Term::Var(body_vars[pick(rng)]));
+    }
+  }
+  return rule;
+}
+
+Rule ChainQuery(int length, std::string_view head_name,
+                std::string_view edge_name, Interner* interner) {
+  Rule rule;
+  SymbolId edge = interner->Intern(std::string(edge_name));
+  auto var = [&](int i) {
+    return Term::Var(interner->Intern("C" + std::to_string(i)));
+  };
+  for (int i = 0; i < length; ++i) {
+    rule.body.emplace_back(edge, std::vector<Term>{var(i), var(i + 1)});
+  }
+  rule.head = Atom(interner->Intern(std::string(head_name)),
+                   {var(0), var(length)});
+  return rule;
+}
+
+Rule StarQuery(int rays, std::string_view head_name,
+               std::string_view edge_name, Interner* interner) {
+  Rule rule;
+  SymbolId edge = interner->Intern(std::string(edge_name));
+  Term center = Term::Var(interner->Intern("Center"));
+  for (int i = 0; i < rays; ++i) {
+    rule.body.emplace_back(
+        edge, std::vector<Term>{
+                  center, Term::Var(interner->Intern(
+                              "R" + std::to_string(i)))});
+  }
+  rule.head = Atom(interner->Intern(std::string(head_name)), {center});
+  return rule;
+}
+
+ViewSet RandomViews(const RandomQueryOptions& options, int num_views,
+                    Interner* interner) {
+  std::mt19937_64 rng(options.seed * 7919 + 13);
+  ViewSet out;
+  std::uniform_int_distribution<int> pred(0, options.num_predicates - 1);
+  std::uniform_int_distribution<int> body_atoms(1, 2);
+  for (int i = 0; i < num_views; ++i) {
+    Rule rule;
+    int atoms = body_atoms(rng);
+    for (int a = 0; a < atoms; ++a) {
+      Atom atom;
+      atom.predicate = interner->Intern("p" + std::to_string(pred(rng)));
+      for (int j = 0; j < options.arity; ++j) {
+        atom.args.push_back(RandomTerm(&rng, options, interner));
+      }
+      rule.body.push_back(std::move(atom));
+    }
+    std::vector<SymbolId> vars = rule.BodyVariables();
+    if (vars.empty()) continue;  // all-constant body; uninteresting
+    // Project a random nonempty subset of the variables.
+    std::vector<SymbolId> head_vars;
+    for (SymbolId v : vars) {
+      std::uniform_int_distribution<int> keep(0, 1);
+      if (keep(rng) == 1) head_vars.push_back(v);
+    }
+    if (head_vars.empty()) head_vars.push_back(vars[0]);
+    rule.head.predicate = interner->Intern("view" + std::to_string(i));
+    for (SymbolId v : head_vars) rule.head.args.push_back(Term::Var(v));
+    ViewDefinition def;
+    def.rule = std::move(rule);
+    // Adding can only fail on duplicates, which the naming prevents.
+    Status st = out.Add(std::move(def));
+    (void)st;
+  }
+  return out;
+}
+
+Database RandomInstance(const ViewSet& views, int num_facts, int domain_size,
+                        uint64_t seed, Interner* interner) {
+  std::mt19937_64 rng(seed);
+  Database out;
+  if (views.empty()) return out;
+  std::uniform_int_distribution<size_t> which(0, views.size() - 1);
+  std::uniform_int_distribution<int> value(0, domain_size - 1);
+  for (int i = 0; i < num_facts; ++i) {
+    const ViewDefinition& view = views.views()[which(rng)];
+    Tuple tuple;
+    for (int j = 0; j < view.rule.head.arity(); ++j) {
+      tuple.push_back(Term::Symbol(
+          interner->Intern("d" + std::to_string(value(rng)))));
+    }
+    out.Add(view.source_predicate(), std::move(tuple));
+  }
+  return out;
+}
+
+Database RandomGraph(std::string_view edge_name, int num_nodes, int num_edges,
+                     uint64_t seed, Interner* interner) {
+  std::mt19937_64 rng(seed);
+  Database out;
+  SymbolId edge = interner->Intern(std::string(edge_name));
+  std::uniform_int_distribution<int> node(0, num_nodes - 1);
+  for (int i = 0; i < num_edges; ++i) {
+    Tuple tuple{
+        Term::Symbol(interner->Intern("n" + std::to_string(node(rng)))),
+        Term::Symbol(interner->Intern("n" + std::to_string(node(rng))))};
+    out.Add(edge, std::move(tuple));
+  }
+  return out;
+}
+
+}  // namespace relcont

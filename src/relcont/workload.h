@@ -1,0 +1,62 @@
+#ifndef RELCONT_RELCONT_WORKLOAD_H_
+#define RELCONT_RELCONT_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "eval/database.h"
+#include "rewriting/views.h"
+
+namespace relcont {
+
+/// Reproducible synthetic workload generators used by the property tests
+/// and the benchmark harness. The shapes follow the query families the
+/// containment literature benchmarks on: random conjunctive queries over a
+/// small relational vocabulary, chain and star joins, and random
+/// projection views (the local-as-view shape of Section 2.2).
+
+struct RandomQueryOptions {
+  int num_atoms = 3;
+  int num_variables = 4;
+  /// Number of distinct EDB predicate names ("p0", "p1", ...).
+  int num_predicates = 2;
+  int arity = 2;
+  /// Probability that an argument position holds a small numeric constant
+  /// instead of a variable.
+  double constant_probability = 0.1;
+  /// Number of distinguished (head) variables.
+  int head_arity = 1;
+  uint64_t seed = 0;
+};
+
+/// A random conjunctive query "g(head vars) :- atoms". Safe by
+/// construction (head variables are drawn from the body's variables).
+Rule RandomConjunctiveQuery(const RandomQueryOptions& options,
+                            std::string_view head_name, Interner* interner);
+
+/// A chain query  g(X0, Xn) :- e(X0, X1), ..., e(X(n-1), Xn).
+Rule ChainQuery(int length, std::string_view head_name,
+                std::string_view edge_name, Interner* interner);
+
+/// A star query  g(C) :- e(C, X1), ..., e(C, Xn).
+Rule StarQuery(int rays, std::string_view head_name,
+               std::string_view edge_name, Interner* interner);
+
+/// Random projection/selection views over the vocabulary of
+/// RandomQueryOptions: each view projects a random subset of the columns
+/// of a random single-atom or two-atom body.
+ViewSet RandomViews(const RandomQueryOptions& options, int num_views,
+                    Interner* interner);
+
+/// A random source instance over the given source predicates: `num_facts`
+/// tuples with values drawn from a domain of `domain_size` symbolic
+/// constants.
+Database RandomInstance(const ViewSet& views, int num_facts, int domain_size,
+                        uint64_t seed, Interner* interner);
+
+/// A random graph database over one binary predicate.
+Database RandomGraph(std::string_view edge_name, int num_nodes, int num_edges,
+                     uint64_t seed, Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_RELCONT_WORKLOAD_H_

@@ -1,0 +1,201 @@
+#include "rewriting/comparison_plans.h"
+
+#include "constraints/order_constraints.h"
+#include "containment/comparison_containment.h"
+#include "datalog/substitution.h"
+#include "rewriting/inverse_rules.h"
+
+namespace relcont {
+
+namespace {
+
+bool IsNumericConst(const Term& t) {
+  return t.is_constant() && t.value().is_number();
+}
+
+// Emits the strongest comparison entailed between two visible points, if
+// any.
+void EmitStrongest(const OrderConstraints& solver, const Term& a,
+                   const Term& b, std::vector<Comparison>* out) {
+  auto entails = [&](ComparisonOp op) {
+    return solver.Entails(Comparison(a, op, b));
+  };
+  if (entails(ComparisonOp::kEq)) {
+    out->emplace_back(a, ComparisonOp::kEq, b);
+    return;
+  }
+  if (entails(ComparisonOp::kLt)) {
+    out->emplace_back(a, ComparisonOp::kLt, b);
+    return;
+  }
+  if (entails(ComparisonOp::kGt)) {
+    out->emplace_back(a, ComparisonOp::kGt, b);
+    return;
+  }
+  bool le = entails(ComparisonOp::kLe);
+  bool ge = entails(ComparisonOp::kGe);
+  bool ne = entails(ComparisonOp::kNe);
+  if (le) out->emplace_back(a, ComparisonOp::kLe, b);
+  if (ge) out->emplace_back(a, ComparisonOp::kGe, b);
+  if (ne && !le && !ge) out->emplace_back(a, ComparisonOp::kNe, b);
+}
+
+Result<std::vector<Comparison>> ProjectConstraints(const Rule& view_rule) {
+  OrderConstraints solver;
+  for (SymbolId v : view_rule.BodyVariables()) {
+    RELCONT_RETURN_NOT_OK(solver.AddPoint(Term::Var(v)));
+  }
+  std::vector<Term> visible;
+  for (SymbolId v : view_rule.HeadVariables()) visible.push_back(Term::Var(v));
+  for (const Value& c : view_rule.Constants()) {
+    if (c.is_number()) {
+      Term t = Term::Constant(c);
+      RELCONT_RETURN_NOT_OK(solver.AddPoint(t));
+      visible.push_back(t);
+    }
+  }
+  RELCONT_RETURN_NOT_OK(solver.AddAll(view_rule.comparisons));
+  std::vector<Comparison> out;
+  for (size_t i = 0; i < visible.size(); ++i) {
+    for (size_t j = i + 1; j < visible.size(); ++j) {
+      if (IsNumericConst(visible[i]) && IsNumericConst(visible[j])) continue;
+      EmitStrongest(solver, visible[i], visible[j], &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Comparison>> ProjectViewConstraintsToHead(
+    const ViewDefinition& view) {
+  return ProjectConstraints(view.rule);
+}
+
+Result<Rule> AugmentWithViewConstraints(const Rule& plan_rule,
+                                        const ViewSet& views,
+                                        Interner* interner) {
+  Rule out = plan_rule;
+  for (const Atom& atom : plan_rule.body) {
+    const ViewDefinition* view = views.Find(atom.predicate);
+    if (view == nullptr) continue;
+    if (view->rule.comparisons.empty()) continue;
+    Rule fresh = RenameApart(view->rule, interner);
+    // Unify with the view head on the left so the unifier binds the fresh
+    // view variables to the plan's terms (not vice versa) — the projected
+    // comparisons must land on the plan's own variables.
+    Substitution mgu;
+    if (!UnifyAtoms(fresh.head, atom, &mgu)) {
+      // No real source tuple can populate this subgoal; make the rule
+      // explicitly unsatisfiable.
+      out.comparisons.emplace_back(Term::Number(Rational(0)),
+                                   ComparisonOp::kLt,
+                                   Term::Number(Rational(0)));
+      return out;
+    }
+    RELCONT_ASSIGN_OR_RETURN(std::vector<Comparison> projected,
+                             ProjectConstraints(fresh));
+    for (const Comparison& c : projected) {
+      Comparison mapped = mgu.Apply(c);
+      auto usable = [](const Term& t) {
+        return t.is_variable() || IsNumericConst(t);
+      };
+      if (usable(mapped.lhs) && usable(mapped.rhs)) {
+        out.comparisons.push_back(std::move(mapped));
+      }
+    }
+  }
+  return out;
+}
+
+Result<UnionQuery> ComparisonAwarePlan(const Program& query, SymbolId goal,
+                                       const ViewSet& views,
+                                       Interner* interner,
+                                       const UnfoldOptions& options) {
+  RELCONT_RETURN_NOT_OK(query.CheckSafe());
+  std::set<SymbolId> sources = views.SourcePredicates();
+  for (const Rule& r : query.rules) {
+    for (const Atom& a : r.body) {
+      if (sources.count(a.predicate) > 0) {
+        return Status::InvalidArgument(
+            "query must be over the mediated schema, not the sources");
+      }
+    }
+  }
+  // The query as a UCQ over the mediated schema (soundness reference).
+  RELCONT_ASSIGN_OR_RETURN(UnionQuery query_ucq,
+                           UnfoldToUnion(query, goal, interner, options));
+
+  // Candidate plans: unfold the query (comparisons and all) against the
+  // inverse rules.
+  RELCONT_ASSIGN_OR_RETURN(Program inverse, InvertViews(views, interner));
+  Program plan = query;
+  for (Rule& r : inverse.rules) plan.rules.push_back(std::move(r));
+  RELCONT_ASSIGN_OR_RETURN(UnionQuery unfolded,
+                           UnfoldToUnion(plan, goal, interner, options));
+
+  UnionQuery out;
+  for (Rule& candidate : unfolded.disjuncts) {
+    // Heads and relational subgoals must be Skolem-free and source-only.
+    bool viable = true;
+    for (const Term& t : candidate.head.args) {
+      if (t.is_function()) viable = false;
+    }
+    for (const Atom& a : candidate.body) {
+      if (sources.count(a.predicate) == 0) viable = false;
+      for (const Term& t : a.args) {
+        if (t.is_function()) viable = false;
+      }
+    }
+    if (!viable) continue;
+    // Pull back the comparisons that landed on visible terms; comparisons
+    // stranded on Skolem terms must be guaranteed by the views, which the
+    // soundness check below verifies after we remove them.
+    std::vector<Comparison> kept;
+    for (Comparison& c : candidate.comparisons) {
+      if (!c.lhs.is_function() && !c.rhs.is_function()) {
+        kept.push_back(std::move(c));
+      }
+    }
+    candidate.comparisons = std::move(kept);
+
+    // Soundness: the candidate's expansion must be contained in the query.
+    auto sound = [&](const Rule& r) -> Result<bool> {
+      UnionQuery single;
+      single.disjuncts.push_back(r);
+      RELCONT_ASSIGN_OR_RETURN(UnionQuery expansion,
+                               ExpandUnionPlan(single, views, interner));
+      return UnionContainedInUnionComplete(expansion, query_ucq);
+    };
+    RELCONT_ASSIGN_OR_RETURN(bool ok, sound(candidate));
+    if (!ok) continue;
+
+    // Prune vacuous candidates: if the candidate's constraints together
+    // with what its views guarantee are unsatisfiable, no consistent
+    // source instance can ever fire it ("no appropriate constraints
+    // exist" in the paper's construction).
+    RELCONT_ASSIGN_OR_RETURN(
+        Rule augmented, AugmentWithViewConstraints(candidate, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(std::optional<Rule> satisfiable,
+                             NormalizeComparisons(augmented));
+    if (!satisfiable.has_value()) continue;
+
+    // Maximality: greedily drop pulled-back comparisons the views already
+    // guarantee (weakest sound constraint set). Example 4: the AntiqueCars
+    // disjunct needs no explicit Year < 1970.
+    for (size_t i = 0; i < candidate.comparisons.size();) {
+      Rule weakened = candidate;
+      weakened.comparisons.erase(weakened.comparisons.begin() + i);
+      RELCONT_ASSIGN_OR_RETURN(bool still_sound, sound(weakened));
+      if (still_sound) {
+        candidate = std::move(weakened);
+      } else {
+        ++i;
+      }
+    }
+    out.disjuncts.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace relcont

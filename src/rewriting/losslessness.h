@@ -1,0 +1,31 @@
+#ifndef RELCONT_REWRITING_LOSSLESSNESS_H_
+#define RELCONT_REWRITING_LOSSLESSNESS_H_
+
+#include "rewriting/views.h"
+
+namespace relcont {
+
+/// Losslessness / equivalent rewritings. The maximally-contained plan is
+/// by construction contained in the query; when the converse also holds —
+/// the plan's expansion contains the query — the views are LOSSLESS for
+/// the query: its certain answers equal its real answers on every
+/// database, and the plan is an equivalent rewriting in the sense of the
+/// rewriting literature the paper builds on (Levy–Mendelzon–Sagiv–
+/// Srivastava). This is the bridge between relative containment and
+/// classical query answering using views.
+struct LosslessnessResult {
+  bool lossless = false;
+  /// The function-term-free UCQ plan over the sources.
+  UnionQuery plan;
+  /// When lossless: the plan doubles as an equivalent rewriting.
+};
+
+/// Decides whether `views` are lossless for the (nonrecursive,
+/// comparison-free) query: Q ≡ P^exp.
+Result<LosslessnessResult> CheckLossless(const Program& query, SymbolId goal,
+                                         const ViewSet& views,
+                                         Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_REWRITING_LOSSLESSNESS_H_

@@ -1,0 +1,86 @@
+#include "rewriting/views.h"
+
+#include "datalog/parser.h"
+
+namespace relcont {
+
+Status ViewSet::Add(ViewDefinition view) {
+  if (Find(view.source_predicate()) != nullptr) {
+    return Status::InvalidArgument(
+        "duplicate view definition for a source predicate");
+  }
+  if (view.rule.body.empty()) {
+    return Status::InvalidArgument("view body must not be empty");
+  }
+  RELCONT_RETURN_NOT_OK(view.rule.CheckSafe());
+  views_.push_back(std::move(view));
+  return Status::OK();
+}
+
+const ViewDefinition* ViewSet::Find(SymbolId source_pred) const {
+  for (const ViewDefinition& v : views_) {
+    if (v.source_predicate() == source_pred) return &v;
+  }
+  return nullptr;
+}
+
+std::set<SymbolId> ViewSet::SourcePredicates() const {
+  std::set<SymbolId> out;
+  for (const ViewDefinition& v : views_) out.insert(v.source_predicate());
+  return out;
+}
+
+std::set<SymbolId> ViewSet::MediatedPredicates() const {
+  std::set<SymbolId> out;
+  for (const ViewDefinition& v : views_) {
+    for (const Atom& a : v.rule.body) out.insert(a.predicate);
+  }
+  return out;
+}
+
+std::vector<Value> ViewSet::Constants() const {
+  std::vector<Value> out;
+  for (const ViewDefinition& v : views_) {
+    std::vector<Value> c = v.rule.Constants();
+    out.insert(out.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+Status ViewSet::Validate() const {
+  std::set<SymbolId> sources = SourcePredicates();
+  for (const ViewDefinition& v : views_) {
+    RELCONT_RETURN_NOT_OK(v.rule.CheckSafe());
+    for (const Atom& a : v.rule.body) {
+      if (sources.count(a.predicate) > 0) {
+        return Status::InvalidArgument(
+            "a source predicate occurs in a view body");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ViewSet::ToString(const Interner& interner) const {
+  std::string out;
+  for (const ViewDefinition& v : views_) {
+    out += v.rule.ToString(interner);
+    if (v.complete) out += "  % complete";
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ViewSet> ParseViews(std::string_view text, Interner* interner) {
+  RELCONT_ASSIGN_OR_RETURN(Program program, ParseProgram(text, interner));
+  ViewSet out;
+  for (Rule& r : program.rules) {
+    ViewDefinition v;
+    v.rule = std::move(r);
+    RELCONT_RETURN_NOT_OK(out.Add(std::move(v)));
+  }
+  RELCONT_RETURN_NOT_OK(out.Validate());
+  return out;
+}
+
+}  // namespace relcont

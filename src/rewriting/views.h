@@ -1,0 +1,67 @@
+#ifndef RELCONT_REWRITING_VIEWS_H_
+#define RELCONT_REWRITING_VIEWS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace relcont {
+
+/// A local-as-view source description  V(X̄) ⊇ Q(X̄)  (Section 2.2): the
+/// source relation `rule.head.predicate` contains a subset of the answers
+/// to the conjunctive query `rule` over the mediated schema. A complete
+/// source (V = Q, the closed-world assumption) is marked with `complete`.
+struct ViewDefinition {
+  Rule rule;
+  bool complete = false;
+
+  SymbolId source_predicate() const { return rule.head.predicate; }
+};
+
+/// The set of available sources of a data integration system.
+class ViewSet {
+ public:
+  ViewSet() = default;
+  explicit ViewSet(std::vector<ViewDefinition> views)
+      : views_(std::move(views)) {}
+
+  /// Adds a view. The source predicate must be fresh (one view per source)
+  /// and must not appear in any view body (sources are not mediated
+  /// relations).
+  Status Add(ViewDefinition view);
+
+  const std::vector<ViewDefinition>& views() const { return views_; }
+  bool empty() const { return views_.empty(); }
+  size_t size() const { return views_.size(); }
+
+  /// The view defining `source_pred`, or nullptr.
+  const ViewDefinition* Find(SymbolId source_pred) const;
+
+  /// All source predicates.
+  std::set<SymbolId> SourcePredicates() const;
+  /// All mediated-schema predicates mentioned in view bodies.
+  std::set<SymbolId> MediatedPredicates() const;
+  /// All constants in the view definitions.
+  std::vector<Value> Constants() const;
+
+  /// Checks each view is safe and conjunctive (single rule per source).
+  Status Validate() const;
+
+  std::string ToString(const Interner& interner) const;
+
+ private:
+  std::vector<ViewDefinition> views_;
+};
+
+/// Parses one view definition per rule. All parsed views are incomplete
+/// (open-world) sources; flip `complete` on the result for closed-world
+/// experiments.
+Result<ViewSet> ParseViews(std::string_view text, Interner* interner);
+
+}  // namespace relcont
+
+#endif  // RELCONT_REWRITING_VIEWS_H_

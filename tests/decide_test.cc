@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "relcont/decide.h"
+
+namespace relcont {
+namespace {
+
+class DecideTest : public ::testing::Test {
+ protected:
+  ViewSet V(const std::string& text) {
+    Result<ViewSet> v = ParseViews(text, &interner_);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  }
+  GoalQuery GQ(const std::string& text, const char* goal) {
+    Result<Program> p = ParseProgram(text, &interner_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return GoalQuery{*p, interner_.Intern(goal)};
+  }
+  Decision Decide(const GoalQuery& a, const GoalQuery& b, const ViewSet& v,
+                  const BindingPatterns& patterns = {}) {
+    Result<Decision> d =
+        DecideRelativeContainment(a, b, v, patterns, &interner_);
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return d.ok() ? *d : Decision{};
+  }
+
+  Interner interner_;
+};
+
+TEST_F(DecideTest, DispatchesToSection3) {
+  ViewSet views = V("v(X, Y) :- p(X, Y).");
+  Decision d = Decide(GQ("a(X) :- p(X, X).", "a"),
+                      GQ("b(X) :- p(X, Y).", "b"), views);
+  EXPECT_TRUE(d.contained);
+  EXPECT_STREQ(d.regime, "section3");
+}
+
+TEST_F(DecideTest, DispatchesToTheorem52OnComparisonViews) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  Decision d = Decide(GQ("a(X) :- item(X, P).", "a"),
+                      GQ("b(X) :- item(X, P), P < 10.", "b"), views);
+  EXPECT_TRUE(d.contained);
+  EXPECT_STREQ(d.regime, "theorem52");
+}
+
+TEST_F(DecideTest, DispatchesToTheorem51WhenLeftHasComparisons) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  Decision d = Decide(GQ("a(X) :- item(X, P), P < 5.", "a"),
+                      GQ("b(X) :- item(X, P).", "b"), views);
+  EXPECT_TRUE(d.contained);
+  EXPECT_STREQ(d.regime, "theorem51");
+}
+
+TEST_F(DecideTest, DispatchesToTheorem32OnRecursiveQuery) {
+  ViewSet views = V("sedge(X, Y) :- e(X, Y).");
+  GoalQuery tc = GQ(
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+      "tc");
+  Decision d =
+      Decide(GQ("a(X, Y) :- e(X, Z), e(Z, Y).", "a"), tc, views);
+  EXPECT_TRUE(d.contained);
+  EXPECT_STREQ(d.regime, "theorem32");
+}
+
+TEST_F(DecideTest, DispatchesToSection4OnPatterns) {
+  ViewSet views = V(
+      "seed(X) :- link(a, X).\n"
+      "next(X, Y) :- link(X, Y).\n");
+  BindingPatterns patterns;
+  patterns.Set(interner_.Lookup("next"), *Adornment::Parse("bf"));
+  Decision d = Decide(GQ("q1(Y) :- link(X, Y).", "q1"),
+                      GQ("q2(Y) :- link(a, Y).", "q2"), views, patterns);
+  EXPECT_FALSE(d.contained);
+  EXPECT_STREQ(d.regime, "section4");
+  EXPECT_TRUE(d.witness.has_value());
+}
+
+TEST_F(DecideTest, PatternsPlusComparisonsUnsupported) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  BindingPatterns patterns;
+  patterns.Set(interner_.Lookup("cheap"), *Adornment::Parse("bf"));
+  Result<Decision> d = DecideRelativeContainment(
+      GQ("a(X) :- item(X, P).", "a"), GQ("b(X) :- item(X, P).", "b"), views,
+      patterns, &interner_);
+  EXPECT_EQ(d.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(DecideTest, WitnessSurfacesOnSection3Failure) {
+  ViewSet views = V(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(X) :- s(X).\n");
+  Decision d = Decide(GQ("a(X) :- p(X, Y).", "a"),
+                      GQ("b(X) :- p(X, Y), s(X).", "b"), views);
+  EXPECT_FALSE(d.contained);
+  EXPECT_STREQ(d.regime, "section3");
+  EXPECT_TRUE(d.witness.has_value());
+}
+
+}  // namespace
+}  // namespace relcont

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "relcont/relative_containment.h"
+
+namespace relcont {
+namespace {
+
+class OneRecursiveTest : public ::testing::Test {
+ protected:
+  ViewSet V(const std::string& text) {
+    Result<ViewSet> v = ParseViews(text, &interner_);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  }
+  GoalQuery GQ(const std::string& text, const char* goal) {
+    Result<Program> p = ParseProgram(text, &interner_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return GoalQuery{*p, interner_.Intern(goal)};
+  }
+
+  Interner interner_;
+};
+
+constexpr char kEdgeView[] = "sedge(X, Y) :- e(X, Y).\n";
+
+constexpr char kTcQuery[] =
+    "tc(X, Y) :- e(X, Y).\n"
+    "tc(X, Y) :- e(X, Z), tc(Z, Y).\n";
+
+// --- Q2 recursive (exact direction) ----------------------------------------
+
+TEST_F(OneRecursiveTest, PathContainedInTransitiveClosure) {
+  ViewSet views = V(kEdgeView);
+  GoalQuery path2 = GQ("q(X, Y) :- e(X, Z), e(Z, Y).", "q");
+  GoalQuery tc = GQ(kTcQuery, "tc");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(path2, tc, views, &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(*r);
+}
+
+TEST_F(OneRecursiveTest, DisconnectedPairNotContainedInTc) {
+  ViewSet views = V(kEdgeView);
+  GoalQuery pair = GQ("q(X, Y) :- e(X, Z), e(W, Y).", "q");
+  GoalQuery tc = GQ(kTcQuery, "tc");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(pair, tc, views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(OneRecursiveTest, SourceCoverageMattersForRecursiveTarget) {
+  // Only 2-paths are exported, so every retrievable edge-pair chains; a
+  // 1-edge query is unanswerable and trivially contained.
+  ViewSet views = V("spath(X, Z) :- e(X, Y), e(Y, Z).\n");
+  GoalQuery single = GQ("q(X, Y) :- e(X, Y).", "q");
+  GoalQuery tc = GQ(kTcQuery, "tc");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(single, tc, views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);  // empty plan: no certain answers to contain
+}
+
+// --- Q1 recursive (semi-decision direction) --------------------------------
+
+TEST_F(OneRecursiveTest, TcNotContainedInBoundedPaths) {
+  ViewSet views = V(kEdgeView);
+  GoalQuery tc = GQ(kTcQuery, "tc");
+  GoalQuery short_paths = GQ(
+      "q(X, Y) :- e(X, Y).\n"
+      "q(X, Y) :- e(X, Z), e(Z, Y).\n",
+      "q");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(tc, short_paths, views, &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(*r);  // a 3-chain expansion escapes both disjuncts
+}
+
+TEST_F(OneRecursiveTest, TcOverSelfLoopViewsIsInconclusiveButNotWrong) {
+  // Sources only export self-loops, so every tc expansion collapses onto a
+  // loop and IS contained in the plain edge query — but the bounded search
+  // cannot certify an infinite expansion family, so it must answer
+  // kBoundReached rather than guessing.
+  ViewSet views = V("loops(X) :- e(X, X).\n");
+  GoalQuery tc = GQ(kTcQuery, "tc");
+  GoalQuery edge = GQ("q(X, Y) :- e(X, Y).", "q");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(tc, edge, views, &interner_);
+  EXPECT_EQ(r.status().code(), StatusCode::kBoundReached);
+}
+
+TEST_F(OneRecursiveTest, BothRecursiveRejected) {
+  ViewSet views = V(kEdgeView);
+  GoalQuery tc1 = GQ(kTcQuery, "tc");
+  GoalQuery tc2 = GQ(
+      "tc2(X, Y) :- e(X, Y).\n"
+      "tc2(X, Y) :- e(X, Z), tc2(Z, Y).\n",
+      "tc2");
+  Result<bool> r =
+      RelativelyContainedOneRecursive(tc1, tc2, views, &interner_);
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(OneRecursiveTest, NonrecursivePairDelegatesToSection3) {
+  ViewSet views = V(kEdgeView);
+  GoalQuery a = GQ("qa(X, Y) :- e(X, Z), e(Z, Y).", "qa");
+  GoalQuery b = GQ("qb(X, Y) :- e(X, Z), e(W, Y).", "qb");
+  Result<bool> r = RelativelyContainedOneRecursive(a, b, views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  Result<bool> back =
+      RelativelyContainedOneRecursive(b, a, views, &interner_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+}
+
+// --- Relevant sources -------------------------------------------------------
+
+TEST_F(OneRecursiveTest, RelevantSourcesDetectsIrrelevantSource) {
+  // v_diag still matters (an instance can populate it without v_all), but
+  // v_other serves a relation the query never touches, and v_proj cannot
+  // contribute answers (it hides the second column behind a Skolem).
+  ViewSet views = V(
+      "v_all(X, Y) :- p(X, Y).\n"
+      "v_diag(X) :- p(X, X).\n"
+      "v_proj(X) :- p(X, Y).\n"
+      "v_other(Z) :- r(Z).\n");
+  GoalQuery q = GQ("q(X, Y) :- p(X, Y).", "q");
+  Result<std::set<SymbolId>> relevant =
+      RelevantSources(q, views, &interner_);
+  ASSERT_TRUE(relevant.ok()) << relevant.status().ToString();
+  EXPECT_EQ(relevant->size(), 2u);
+  EXPECT_TRUE(relevant->count(interner_.Lookup("v_all")) > 0);
+  EXPECT_TRUE(relevant->count(interner_.Lookup("v_diag")) > 0);
+  EXPECT_EQ(relevant->count(interner_.Lookup("v_other")), 0u);
+  EXPECT_EQ(relevant->count(interner_.Lookup("v_proj")), 0u);
+}
+
+TEST_F(OneRecursiveTest, RelevantSourcesKeepsComplementarySources) {
+  ViewSet views = V(
+      "redcars(C, Y) :- car(C, red, Y).\n"
+      "bluecars(C, Y) :- car(C, blue, Y).\n");
+  GoalQuery q = GQ("q(C) :- car(C, Col, Y).", "q");
+  Result<std::set<SymbolId>> relevant =
+      RelevantSources(q, views, &interner_);
+  ASSERT_TRUE(relevant.ok());
+  EXPECT_EQ(relevant->size(), 2u);  // both colors contribute answers
+}
+
+TEST_F(OneRecursiveTest, RelevantSourcesEmptyForUnanswerableQuery) {
+  ViewSet views = V("v(X) :- p(X).");
+  GoalQuery q = GQ("q(X) :- s(X).", "q");
+  Result<std::set<SymbolId>> relevant =
+      RelevantSources(q, views, &interner_);
+  ASSERT_TRUE(relevant.ok());
+  EXPECT_TRUE(relevant->empty());
+}
+
+}  // namespace
+}  // namespace relcont

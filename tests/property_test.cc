@@ -1,0 +1,255 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "containment/cq_containment.h"
+#include "containment/canonical.h"
+#include "datalog/parser.h"
+#include "eval/evaluator.h"
+#include "relcont/certain_answers.h"
+#include "relcont/pi2p_reduction.h"
+#include "relcont/workload.h"
+
+namespace relcont {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Theorem 3.3 reduction: structure and hand-checked instances.
+// ---------------------------------------------------------------------------
+
+class Pi2pTest : public ::testing::Test {
+ protected:
+  Interner interner_;
+};
+
+// The paper's running formula: (x1 ∨ x2 ∨ y1) ∧ (¬x1 ∨ ¬x2 ∨ y2).
+QbfFormula PaperFormula() {
+  QbfFormula f;
+  f.num_exists = 2;
+  f.num_forall = 2;
+  f.clauses.push_back({{{0, false}, {1, false}, {2, false}}});
+  f.clauses.push_back({{{0, true}, {1, true}, {3, false}}});
+  return f;
+}
+
+TEST_F(Pi2pTest, PaperFormulaStructure) {
+  Result<Pi2pInstance> inst = BuildPi2pReduction(PaperFormula(), &interner_);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  const Rule& q1 = inst->q1.program.rules[0];
+  const Rule& q2 = inst->q2.program.rules[0];
+  // Q1: one r-atom per clause plus one e-atom per universal variable.
+  EXPECT_EQ(q1.body.size(), 2u + 2u);
+  // Q2: seven satisfying rows per clause plus the e-atoms.
+  EXPECT_EQ(q2.body.size(), 14u + 2u);
+  // Views: one v per clause, two w per universal variable.
+  EXPECT_EQ(inst->views.size(), 2u + 4u);
+}
+
+TEST_F(Pi2pTest, PaperFormulaIsForallExistsSatisfiable) {
+  // x1 = 1, x2 = 0 satisfies both clauses for every y.
+  EXPECT_TRUE(ForallExistsSatisfiable(PaperFormula()));
+  Result<Pi2pInstance> inst = BuildPi2pReduction(PaperFormula(), &interner_);
+  ASSERT_TRUE(inst.ok());
+  Result<RelativeContainmentResult> r =
+      RelativelyContained(inst->q2, inst->q1, inst->views, &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->contained);
+}
+
+TEST_F(Pi2pTest, UnsatisfiableInstanceIsNotContained) {
+  // (x1 ∨ y1 ∨ y2) ∧ (¬x1 ∨ y1 ∨ y2): for y1 = y2 = 0 we need x1 ∧ ¬x1.
+  QbfFormula f;
+  f.num_exists = 1;
+  f.num_forall = 2;
+  f.clauses.push_back({{{0, false}, {1, false}, {2, false}}});
+  f.clauses.push_back({{{0, true}, {1, false}, {2, false}}});
+  EXPECT_FALSE(ForallExistsSatisfiable(f));
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner_);
+  ASSERT_TRUE(inst.ok());
+  Result<RelativeContainmentResult> r =
+      RelativelyContained(inst->q2, inst->q1, inst->views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->contained);
+}
+
+TEST_F(Pi2pTest, RejectsRepeatedClauseVariables) {
+  QbfFormula f;
+  f.num_exists = 2;
+  f.num_forall = 0;
+  f.clauses.push_back({{{0, false}, {0, true}, {1, false}}});
+  EXPECT_FALSE(BuildPi2pReduction(f, &interner_).ok());
+}
+
+TEST_F(Pi2pTest, PlanSizesGrowExponentiallyInForallCount) {
+  // The unfolded plans have 2^m disjuncts — the Π₂ᴾ shape made visible.
+  for (int m = 1; m <= 3; ++m) {
+    QbfFormula f = RandomQbf(2, m, 2, /*seed=*/42);
+    Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner_);
+    ASSERT_TRUE(inst.ok());
+    Result<RelativeContainmentResult> r =
+        RelativelyContained(inst->q1, inst->q1, inst->views, &interner_);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->plan1.disjuncts.size(), size_t{1} << m);
+  }
+}
+
+// Parameterized sweep: the decision procedure agrees with brute-force ∀∃
+// evaluation on random formulas.
+class Pi2pAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Pi2pAgreementTest, DecisionMatchesBruteForce) {
+  Interner interner;
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/2,
+                           /*num_clauses=*/3, seed);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+  ASSERT_TRUE(inst.ok());
+  Result<RelativeContainmentResult> r =
+      RelativelyContained(inst->q2, inst->q1, inst->views, &interner);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->contained, ForallExistsSatisfiable(f)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Pi2pAgreementTest, ::testing::Range(0, 40));
+
+// With no universal variables the reduction degenerates to the classical
+// Aho–Sagiv–Ullman SAT reduction, and relative containment coincides with
+// classical containment.
+class SatAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatAgreementTest, ClassicalContainmentMatchesSat) {
+  Interner interner;
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  QbfFormula f = RandomQbf(/*num_exists=*/3, /*num_forall=*/0,
+                           /*num_clauses=*/4, seed);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+  ASSERT_TRUE(inst.ok());
+  Result<bool> classical = CqContained(inst->q2.program.rules[0],
+                                       inst->q1.program.rules[0]);
+  ASSERT_TRUE(classical.ok());
+  EXPECT_EQ(*classical, Satisfiable(f)) << "seed " << seed;
+  Result<RelativeContainmentResult> relative =
+      RelativelyContained(inst->q2, inst->q1, inst->views, &interner);
+  ASSERT_TRUE(relative.ok());
+  EXPECT_EQ(relative->contained, *classical);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatAgreementTest, ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// Random conjunctive queries: containment agrees with the canonical
+// database oracle (freeze the left query, evaluate the right one).
+// ---------------------------------------------------------------------------
+
+class CqOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CqOracleTest, ContainmentMatchesFrozenEvaluation) {
+  Interner interner;
+  RandomQueryOptions opts;
+  opts.seed = static_cast<uint64_t>(GetParam());
+  opts.num_atoms = 3;
+  opts.num_variables = 3;
+  opts.num_predicates = 2;
+  opts.head_arity = 1;
+  Rule q1 = RandomConjunctiveQuery(opts, "g1", &interner);
+  opts.seed += 1000003;
+  Rule q2 = RandomConjunctiveQuery(opts, "g2", &interner);
+  if (q1.head.arity() != q2.head.arity()) return;
+  if (!q1.CheckSafe().ok() || !q2.CheckSafe().ok()) return;
+
+  Result<bool> decision = CqContained(q1, q2);
+  ASSERT_TRUE(decision.ok());
+  // Oracle: q1 ⊑ q2 iff q2 derives q1's frozen head on q1's canonical db.
+  Result<FrozenQuery> frozen = FreezeRule(q1, &interner);
+  ASSERT_TRUE(frozen.ok());
+  Program p;
+  p.rules.push_back(q2);
+  Result<std::vector<Tuple>> answers =
+      EvaluateGoal(p, q2.head.predicate, frozen->database);
+  ASSERT_TRUE(answers.ok());
+  bool oracle = std::find(answers->begin(), answers->end(),
+                          frozen->head_tuple) != answers->end();
+  EXPECT_EQ(*decision, oracle)
+      << q1.ToString(interner) << "  vs  " << q2.ToString(interner);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqOracleTest, ::testing::Range(0, 120));
+
+// Chain and star families have known containment relationships.
+TEST(QueryFamiliesTest, ChainContainmentIsLengthMonotone) {
+  Interner interner;
+  // Longer chains are NOT contained in shorter ones with both endpoints
+  // distinguished, and vice versa; but a chain folded to a self-loop maps
+  // anywhere.
+  Rule c2 = ChainQuery(2, "g", "e", &interner);
+  Rule c3 = ChainQuery(3, "g", "e", &interner);
+  EXPECT_FALSE(*CqContained(c2, c3));
+  EXPECT_FALSE(*CqContained(c3, c2));
+  // Boolean chains (no head vars) fold: longer ⊑ shorter.
+  Rule b2 = c2, b3 = c3;
+  b2.head.args.clear();
+  b3.head.args.clear();
+  EXPECT_TRUE(*CqContained(b3, b2));
+  EXPECT_FALSE(*CqContained(b2, b3));
+}
+
+TEST(QueryFamiliesTest, StarRaysAreRedundant) {
+  Interner interner;
+  // All rays are parallel edges from the center: star(n) ≡ star(1).
+  Rule s1 = StarQuery(1, "g", "e", &interner);
+  Rule s4 = StarQuery(4, "g", "e", &interner);
+  EXPECT_TRUE(*CqContained(s1, s4));
+  EXPECT_TRUE(*CqContained(s4, s1));
+}
+
+// ---------------------------------------------------------------------------
+// Random relative containment: decisions are consistent with certain
+// answers on random instances (soundness sampling).
+// ---------------------------------------------------------------------------
+
+class RelativeSamplingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelativeSamplingTest, ContainmentImpliesCertainAnswerSubset) {
+  Interner interner;
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  RandomQueryOptions opts;
+  opts.seed = seed;
+  opts.num_atoms = 2;
+  opts.num_variables = 3;
+  opts.num_predicates = 2;
+  opts.head_arity = 1;
+  opts.constant_probability = 0.0;
+  ViewSet views = RandomViews(opts, /*num_views=*/3, &interner);
+  if (views.empty()) return;
+  GoalQuery a{Program({RandomConjunctiveQuery(opts, "ga", &interner)}), 0};
+  a.goal = a.program.rules[0].head.predicate;
+  opts.seed = seed + 77;
+  GoalQuery b{Program({RandomConjunctiveQuery(opts, "gb", &interner)}), 0};
+  b.goal = b.program.rules[0].head.predicate;
+  if (!a.program.CheckSafe().ok() || !b.program.CheckSafe().ok()) return;
+
+  Result<RelativeContainmentResult> decision =
+      RelativelyContained(a, b, views, &interner);
+  ASSERT_TRUE(decision.ok()) << decision.status().ToString();
+  for (int k = 0; k < 4; ++k) {
+    Database inst =
+        RandomInstance(views, /*num_facts=*/5, /*domain_size=*/3,
+                       seed * 17 + k, &interner);
+    Result<std::vector<Tuple>> ca =
+        CertainAnswers(a.program, a.goal, views, inst, &interner);
+    Result<std::vector<Tuple>> cb =
+        CertainAnswers(b.program, b.goal, views, inst, &interner);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    if (decision->contained) {
+      for (const Tuple& t : *ca) {
+        EXPECT_NE(std::find(cb->begin(), cb->end(), t), cb->end())
+            << "contained, but certain answer missing on sampled instance";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelativeSamplingTest, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace relcont

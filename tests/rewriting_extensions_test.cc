@@ -1,0 +1,340 @@
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "binding/dom_plan.h"
+#include "datalog/parser.h"
+#include "relcont/certain_answers.h"
+#include "rewriting/losslessness.h"
+
+namespace relcont {
+namespace {
+
+class RewritingExtensionsTest : public ::testing::Test {
+ protected:
+  ViewSet V(const std::string& text) {
+    Result<ViewSet> v = ParseViews(text, &interner_);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  }
+  Program P(const std::string& text) {
+    Result<Program> p = ParseProgram(text, &interner_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return *p;
+  }
+  Database D(const std::string& text) {
+    Result<Database> d = ParseDatabase(text, &interner_);
+    EXPECT_TRUE(d.ok()) << d.status().ToString();
+    return *d;
+  }
+  SymbolId S(const char* name) { return interner_.Intern(name); }
+
+  Interner interner_;
+};
+
+// ---------------------------------------------------------------------------
+// Losslessness / equivalent rewritings.
+// ---------------------------------------------------------------------------
+
+TEST_F(RewritingExtensionsTest, IdentityViewsAreLossless) {
+  ViewSet views = V(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(Y, Z) :- r(Y, Z).\n");
+  Program q = P("q(X, Z) :- p(X, Y), r(Y, Z).");
+  Result<LosslessnessResult> r =
+      CheckLossless(q, S("q"), views, &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->lossless);
+  EXPECT_EQ(r->plan.disjuncts.size(), 1u);
+}
+
+TEST_F(RewritingExtensionsTest, ProjectionViewsLoseTheJoinColumn) {
+  ViewSet views = V(
+      "v1(X) :- p(X, Y).\n"
+      "v2(Z) :- r(Y, Z).\n");
+  Program q = P("q(X, Z) :- p(X, Y), r(Y, Z).");
+  Result<LosslessnessResult> r =
+      CheckLossless(q, S("q"), views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->lossless);
+}
+
+TEST_F(RewritingExtensionsTest, PrejoinedViewIsLosslessForItsOwnJoin) {
+  ViewSet views = V("joined(X, Z) :- p(X, Y), r(Y, Z).");
+  Program q = P("q(X, Z) :- p(X, Y), r(Y, Z).");
+  Result<LosslessnessResult> r =
+      CheckLossless(q, S("q"), views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->lossless);
+  // ...but lossy for the base relation alone.
+  Program base = P("qb(X, Y) :- p(X, Y).");
+  Result<LosslessnessResult> rb =
+      CheckLossless(base, S("qb"), views, &interner_);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_FALSE(rb->lossless);
+}
+
+TEST_F(RewritingExtensionsTest, SelectionViewsCoveringAllCasesAreLossless) {
+  // red+nonred... without negation we use two overlapping selections that
+  // happen to cover the query's own selection.
+  ViewSet views = V("redonly(C, Y) :- car(C, red, Y).");
+  Program red_query = P("q(C) :- car(C, red, Y).");
+  Result<LosslessnessResult> r =
+      CheckLossless(red_query, S("q"), views, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->lossless);
+  Program all_query = P("qa(C) :- car(C, Col, Y).");
+  Result<LosslessnessResult> ra =
+      CheckLossless(all_query, S("qa"), views, &interner_);
+  ASSERT_TRUE(ra.ok());
+  EXPECT_FALSE(ra->lossless);
+}
+
+// ---------------------------------------------------------------------------
+// Certain answers with comparisons (Theorem 5.1 plans, [21]).
+// ---------------------------------------------------------------------------
+
+TEST_F(RewritingExtensionsTest, ComparisonCertainAnswersUseViewGuarantees) {
+  ViewSet views = V(
+      "antique(C, M, Y) :- cardesc(C, M, Col, Y), Y < 1970.\n"
+      "redcars(C, M, Y) :- cardesc(C, M, red, Y).\n");
+  // Q3-style query: old cars.
+  Program q = P("q(C) :- cardesc(C, M, Col, Y), Y < 1970.");
+  Database inst = D(
+      "antique(1, model_t, 1920).\n"
+      "redcars(2, corolla, 1990).\n"
+      "redcars(3, beetle, 1960).\n");
+  Result<std::vector<Tuple>> answers = CertainAnswersWithComparisons(
+      q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // 1 (antique guarantees Y<1970) and 3 (red with explicit 1960), not 2.
+  ASSERT_EQ(answers->size(), 2u);
+  std::vector<Rational> got;
+  for (const Tuple& t : *answers) got.push_back(t[0].value().number());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got[0], Rational(1));
+  EXPECT_EQ(got[1], Rational(3));
+}
+
+TEST_F(RewritingExtensionsTest, ComparisonCertainAnswersEmptyPlan) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  Program q = P("q(X) :- item(X, P), P > 100.");
+  Database inst = D("cheap(pen, 2).");
+  Result<std::vector<Tuple>> answers = CertainAnswersWithComparisons(
+      q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+}
+
+TEST_F(RewritingExtensionsTest,
+       ComparisonCertainAnswersAgreeWithPlainOnComparisonFreeInputs) {
+  ViewSet views = V(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(X) :- p(X, X).\n");
+  Program q = P("q(X) :- p(X, Y).");
+  Database inst = D("v1(a, b). v2(c).");
+  Result<std::vector<Tuple>> plain =
+      CertainAnswers(q, S("q"), views, inst, &interner_);
+  Result<std::vector<Tuple>> cmp = CertainAnswersWithComparisons(
+      q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(cmp.ok());
+  std::sort(plain->begin(), plain->end());
+  std::sort(cmp->begin(), cmp->end());
+  EXPECT_EQ(*plain, *cmp);
+}
+
+TEST_F(RewritingExtensionsTest,
+       ComparisonPlanAnswersSurviveSampledWorlds) {
+  // Soundness sampling: every answer the comparison-aware plan produces
+  // must hold in every consistent database over a sampled numeric domain
+  // (plan answers ⊆ certain answers ⊆ sampled-world intersection).
+  ViewSet views = V(
+      "cheap(X, P) :- item(X, P), P < 10.\n"
+      "named(X) :- item(X, P).\n");
+  Program q = P("q(X) :- item(X, P), P < 20.");
+  Database inst = D("cheap(pen, 3). cheap(ink, 9). named(desk).");
+  Result<std::vector<Tuple>> plan_answers = CertainAnswersWithComparisons(
+      q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(plan_answers.ok()) << plan_answers.status().ToString();
+  // pen and ink are certainly under 20; desk's price is unknown.
+  EXPECT_EQ(plan_answers->size(), 2u);
+
+  // Sampled worlds: items get prices from {3, 9, 15, 25}; a world is
+  // consistent when every source tuple is reproduced.
+  const std::vector<int> prices = {3, 9, 15, 25};
+  const std::vector<const char*> items = {"pen", "ink", "desk"};
+  SymbolId item = S("item");
+  int consistent_worlds = 0;
+  for (int p0 : prices) {
+    for (int p1 : prices) {
+      for (int p2 : prices) {
+        Database world;
+        int price_of[3] = {p0, p1, p2};
+        for (int i = 0; i < 3; ++i) {
+          world.Add(item, {Term::Symbol(S(items[i])),
+                           Term::Number(Rational(price_of[i]))});
+        }
+        // Consistency: cheap must contain (pen,3) and (ink,9); named must
+        // contain desk (it does by construction).
+        auto view_holds = [&](const char* name, int price) {
+          Program vp;
+          vp.rules.push_back(views.Find(S("cheap"))->rule);
+          Result<std::vector<Tuple>> rows =
+              EvaluateGoal(vp, S("cheap"), world);
+          if (!rows.ok()) return false;
+          Tuple expect{Term::Symbol(S(name)), Term::Number(Rational(price))};
+          return std::find(rows->begin(), rows->end(), expect) != rows->end();
+        };
+        if (!view_holds("pen", 3) || !view_holds("ink", 9)) continue;
+        ++consistent_worlds;
+        Program qp;
+        qp.rules.push_back(q.rules[0]);
+        Result<std::vector<Tuple>> world_answers =
+            EvaluateGoal(qp, S("q"), world);
+        ASSERT_TRUE(world_answers.ok());
+        for (const Tuple& t : *plan_answers) {
+          EXPECT_NE(
+              std::find(world_answers->begin(), world_answers->end(), t),
+              world_answers->end())
+              << "plan answer not certain in a sampled world";
+        }
+      }
+    }
+  }
+  EXPECT_GT(consistent_worlds, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Provenance.
+// ---------------------------------------------------------------------------
+
+TEST_F(RewritingExtensionsTest, ProvenanceAttributesAnswersToSources) {
+  ViewSet views = V(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(X) :- p(X, X).\n");
+  Program q = P("q(X) :- p(X, Y).");
+  Database inst = D("v1(a, b). v2(c). v1(c, c).");
+  Result<ProvenanceResult> r = CertainAnswersWithProvenance(
+      q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->answers.size(), 2u);
+  auto find = [&](const char* value) -> const ProvenancedAnswer* {
+    for (const ProvenancedAnswer& a : r->answers) {
+      if (a.tuple[0].value().symbol() == S(value)) return &a;
+    }
+    return nullptr;
+  };
+  const ProvenancedAnswer* a = find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->sources, std::set<SymbolId>{S("v1")});
+  EXPECT_EQ(a->disjuncts.size(), 1u);
+  // c is justified by BOTH sources (v1(c,c) and v2(c)).
+  const ProvenancedAnswer* c = find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->sources, (std::set<SymbolId>{S("v1"), S("v2")}));
+  EXPECT_EQ(c->disjuncts.size(), 2u);
+}
+
+TEST_F(RewritingExtensionsTest, ProvenanceAgreesWithPlainCertainAnswers) {
+  ViewSet views = V(
+      "v1(X, Y) :- p(X, Y).\n"
+      "v2(Y, Z) :- r(Y, Z).\n");
+  Program q = P("q(X, Z) :- p(X, Y), r(Y, Z).");
+  Database inst = D("v1(a, b). v2(b, c). v2(x, y).");
+  Result<ProvenanceResult> withp = CertainAnswersWithProvenance(
+      q, S("q"), views, inst, &interner_);
+  Result<std::vector<Tuple>> plain =
+      CertainAnswers(q, S("q"), views, inst, &interner_);
+  ASSERT_TRUE(withp.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(withp->answers.size(), plain->size());
+  for (const ProvenancedAnswer& a : withp->answers) {
+    EXPECT_NE(std::find(plain->begin(), plain->end(), a.tuple),
+              plain->end());
+    EXPECT_FALSE(a.sources.empty());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multiple access patterns per source.
+// ---------------------------------------------------------------------------
+
+TEST_F(RewritingExtensionsTest, MultipleAdornmentsWidenExecutability) {
+  BindingPatterns patterns;
+  patterns.Set(S("phonebook"), *Adornment::Parse("bf"));
+  patterns.AddAlternative(S("phonebook"), *Adornment::Parse("fb"));
+  // Lookup by name or by number, but not a full scan.
+  Rule by_name = *ParseRule(
+      "q(N) :- names(X), phonebook(X, N).", &interner_);
+  Rule by_number = *ParseRule(
+      "q(X) :- numbers(N), phonebook(X, N).", &interner_);
+  Rule scan = *ParseRule("q(X, N) :- phonebook(X, N).", &interner_);
+  EXPECT_TRUE(IsRuleExecutable(by_name, patterns));
+  EXPECT_TRUE(IsRuleExecutable(by_number, patterns));
+  EXPECT_FALSE(IsRuleExecutable(scan, patterns));
+
+  BindingPatterns single;
+  single.Set(S("phonebook"), *Adornment::Parse("bf"));
+  EXPECT_FALSE(IsRuleExecutable(by_number, single));
+}
+
+TEST_F(RewritingExtensionsTest, MultipleAdornmentsInExecutablePlans) {
+  ViewSet views = V(
+      "names(X) :- person(X).\n"
+      "phonebook(X, N) :- phone(X, N).\n");
+  BindingPatterns patterns;
+  patterns.Set(S("phonebook"), *Adornment::Parse("bf"));
+  patterns.AddAlternative(S("phonebook"), *Adornment::Parse("fb"));
+  Program q = P("q(X, N) :- phone(X, N).");
+  Result<ExecutablePlanResult> plan =
+      ExecutablePlan(q, views, patterns, &interner_);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Two guarded inverse rules for phone: one per access pattern.
+  int phone_rules = 0;
+  for (const Rule& r : plan->program.rules) {
+    if (r.head.predicate == S("phone")) ++phone_rules;
+  }
+  EXPECT_EQ(phone_rules, 2);
+
+  // Reachable answers: by-name lookups seed from `names`; by-number
+  // lookups seed from numbers already discovered.
+  Database inst = D(
+      "names(ada).\n"
+      "phonebook(ada, 1234).\n"
+      "phonebook(bob, 9999).\n");
+  Result<std::vector<Tuple>> answers = ReachableCertainAnswers(
+      q, S("q"), views, patterns, inst, &interner_);
+  ASSERT_TRUE(answers.ok());
+  // ada reachable via bf with name; bob unreachable (no seed for either
+  // column).
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0][0].value().symbol(), S("ada"));
+}
+
+TEST_F(RewritingExtensionsTest, AlternativeAdornmentsUnlockMoreAnswers) {
+  ViewSet views = V(
+      "knownnumbers(N) :- important(N).\n"
+      "phonebook(X, N) :- phone(X, N).\n");
+  Program q = P("q(X) :- phone(X, N).");
+  Database inst = D(
+      "knownnumbers(5555).\n"
+      "phonebook(eve, 5555).\n");
+  // With only bf (name required), nothing is reachable.
+  BindingPatterns bf_only;
+  bf_only.Set(S("phonebook"), *Adornment::Parse("bf"));
+  Result<std::vector<Tuple>> none = ReachableCertainAnswers(
+      q, S("q"), views, bf_only, inst, &interner_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // Adding the fb alternative lets the known number unlock eve.
+  BindingPatterns both = bf_only;
+  both.AddAlternative(S("phonebook"), *Adornment::Parse("fb"));
+  Result<std::vector<Tuple>> some = ReachableCertainAnswers(
+      q, S("q"), views, both, inst, &interner_);
+  ASSERT_TRUE(some.ok());
+  ASSERT_EQ(some->size(), 1u);
+  EXPECT_EQ((*some)[0][0].value().symbol(), S("eve"));
+}
+
+}  // namespace
+}  // namespace relcont

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "binding/sound_plan.h"
+#include "datalog/parser.h"
+
+namespace relcont {
+namespace {
+
+class SoundPlanTest : public ::testing::Test {
+ protected:
+  ViewSet V(const std::string& text) {
+    Result<ViewSet> v = ParseViews(text, &interner_);
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return *v;
+  }
+  Program P(const std::string& text) {
+    Result<Program> p = ParseProgram(text, &interner_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return *p;
+  }
+  SymbolId S(const char* name) { return interner_.Intern(name); }
+
+  Interner interner_;
+};
+
+// The paper's red-cars example around Definition 4.2.
+constexpr char kRedCarViews[] =
+    "redcars(C, M, Y) :- cardesc(C, M, red, Y).\n";
+constexpr char kRedQuery[] = "q(C, Y) :- cardesc(C, M, red, Y).\n";
+
+TEST_F(SoundPlanTest, CorollaProbeIsExecutableButUnsound) {
+  // The paper's "cheating" plan: p(C, Y) :- redcars(C, corolla, Y).
+  // It obeys the access pattern (the model position is a constant) but
+  // introduces a constant not in Q ∪ V, so it is not sound.
+  ViewSet views = V(kRedCarViews);
+  BindingPatterns patterns;
+  patterns.Set(S("redcars"), *Adornment::Parse("fbf"));
+  Program query = P(kRedQuery);
+  Program plan = P("p(C, Y) :- redcars(C, corolla, Y).\n");
+  Result<SoundPlanResult> r =
+      CheckSoundPlan(plan, S("p"), query, S("q"), views, patterns,
+                     &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->executable);
+  EXPECT_FALSE(r->constants_ok);
+  EXPECT_TRUE(r->expansion_contained);
+  EXPECT_FALSE(r->sound);
+}
+
+TEST_F(SoundPlanTest, UnexecutablePlanDetected) {
+  ViewSet views = V(kRedCarViews);
+  BindingPatterns patterns;
+  patterns.Set(S("redcars"), *Adornment::Parse("fbf"));
+  Program query = P(kRedQuery);
+  Program plan = P("p(C, Y) :- redcars(C, M, Y).\n");  // M unbound
+  Result<SoundPlanResult> r =
+      CheckSoundPlan(plan, S("p"), query, S("q"), views, patterns,
+                     &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->executable);
+  EXPECT_FALSE(r->sound);
+}
+
+TEST_F(SoundPlanTest, GoodPlanIsSound) {
+  ViewSet views = V(
+      "models(M) :- popular(M).\n"
+      "redcars(C, M, Y) :- cardesc(C, M, red, Y).\n");
+  BindingPatterns patterns;
+  patterns.Set(S("redcars"), *Adornment::Parse("fbf"));
+  Program query = P(kRedQuery);
+  Program plan = P("p(C, Y) :- models(M), redcars(C, M, Y).\n");
+  Result<SoundPlanResult> r =
+      CheckSoundPlan(plan, S("p"), query, S("q"), views, patterns,
+                     &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->executable);
+  EXPECT_TRUE(r->constants_ok);
+  EXPECT_TRUE(r->expansion_contained);
+  EXPECT_TRUE(r->sound);
+}
+
+TEST_F(SoundPlanTest, OverbroadPlanFailsExpansionContainment) {
+  ViewSet views = V(
+      "allcars(C, M, Col, Y) :- cardesc(C, M, Col, Y).\n");
+  Program query = P(kRedQuery);  // red cars only
+  Program plan = P("p(C, Y) :- allcars(C, M, Col, Y).\n");  // any color
+  BindingPatterns none;
+  Result<SoundPlanResult> r = CheckSoundPlan(
+      plan, S("p"), query, S("q"), views, none, &interner_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->executable);
+  EXPECT_TRUE(r->constants_ok);
+  EXPECT_FALSE(r->expansion_contained);
+  EXPECT_FALSE(r->sound);
+}
+
+TEST_F(SoundPlanTest, RecursivePlanCounterexampleIsDefinite) {
+  ViewSet views = V(
+      "seed(X) :- link(a, X).\n"
+      "next(X, Y) :- link(X, Y).\n");
+  BindingPatterns patterns;
+  patterns.Set(S("next"), *Adornment::Parse("bf"));
+  // The reference query only wants links out of a, but the recursive plan
+  // walks arbitrarily far.
+  Program query = P("q(Y) :- link(a, Y).\n");
+  Program plan = P(
+      "p(Y) :- reach(Y).\n"
+      "reach(Y) :- seed(Y).\n"
+      "reach(Y) :- reach(X), next(X, Y).\n");
+  Result<SoundPlanResult> r =
+      CheckSoundPlan(plan, S("p"), query, S("q"), views, patterns,
+                     &interner_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->executable);
+  EXPECT_FALSE(r->expansion_contained);
+  EXPECT_FALSE(r->sound);
+}
+
+TEST_F(SoundPlanTest, RecursivePlanAgainstRecursionCoverIsInconclusive) {
+  ViewSet views = V(
+      "seed(X) :- link(a, X).\n"
+      "next(X, Y) :- link(X, Y).\n");
+  BindingPatterns patterns;
+  patterns.Set(S("next"), *Adornment::Parse("bf"));
+  Program query = P("q(Y) :- link(X, Y).\n");  // any link target
+  Program plan = P(
+      "p(Y) :- reach(Y).\n"
+      "reach(Y) :- seed(Y).\n"
+      "reach(Y) :- reach(X), next(X, Y).\n");
+  Result<SoundPlanResult> r =
+      CheckSoundPlan(plan, S("p"), query, S("q"), views, patterns,
+                     &interner_);
+  // Every expansion IS contained, but the bounded search cannot certify
+  // the infinite family.
+  EXPECT_EQ(r.status().code(), StatusCode::kBoundReached);
+}
+
+TEST_F(SoundPlanTest, PlanPredicateCollisionRejected) {
+  ViewSet views = V("v(X) :- p(X).");
+  Program query = P("q(X) :- p(X).");
+  Program plan = P("p(X) :- v(X).");  // collides with mediated p
+  BindingPatterns none;
+  EXPECT_EQ(CheckSoundPlan(plan, S("p"), query, S("q"), views, none,
+                           &interner_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SoundPlanTest, PlanOverUnknownRelationsRejected) {
+  ViewSet views = V("v(X) :- p(X).");
+  Program query = P("q(X) :- p(X).");
+  Program plan = P("g(X) :- mystery(X).");
+  BindingPatterns none;
+  EXPECT_EQ(CheckSoundPlan(plan, S("g"), query, S("q"), views, none,
+                           &interner_)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace relcont
