@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_binding_patterns.dir/bench_binding_patterns.cc.o"
+  "CMakeFiles/bench_binding_patterns.dir/bench_binding_patterns.cc.o.d"
+  "bench_binding_patterns"
+  "bench_binding_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_binding_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

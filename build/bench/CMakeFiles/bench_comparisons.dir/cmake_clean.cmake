@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparisons.dir/bench_comparisons.cc.o"
+  "CMakeFiles/bench_comparisons.dir/bench_comparisons.cc.o.d"
+  "bench_comparisons"
+  "bench_comparisons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparisons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_containment_core.dir/bench_containment_core.cc.o"
+  "CMakeFiles/bench_containment_core.dir/bench_containment_core.cc.o.d"
+  "bench_containment_core"
+  "bench_containment_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_containment_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

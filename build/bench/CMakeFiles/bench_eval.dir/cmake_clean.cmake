@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eval.dir/bench_eval.cc.o"
+  "CMakeFiles/bench_eval.dir/bench_eval.cc.o.d"
+  "bench_eval"
+  "bench_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

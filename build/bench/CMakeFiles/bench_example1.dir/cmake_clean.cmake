@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example1.dir/bench_example1.cc.o"
+  "CMakeFiles/bench_example1.dir/bench_example1.cc.o.d"
+  "bench_example1"
+  "bench_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

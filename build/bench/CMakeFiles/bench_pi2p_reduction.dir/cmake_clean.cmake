@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pi2p_reduction.dir/bench_pi2p_reduction.cc.o"
+  "CMakeFiles/bench_pi2p_reduction.dir/bench_pi2p_reduction.cc.o.d"
+  "bench_pi2p_reduction"
+  "bench_pi2p_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pi2p_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

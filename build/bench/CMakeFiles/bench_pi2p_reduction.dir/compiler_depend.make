@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_pi2p_reduction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_access_patterns.dir/bookstore_access_patterns.cpp.o"
+  "CMakeFiles/bookstore_access_patterns.dir/bookstore_access_patterns.cpp.o.d"
+  "bookstore_access_patterns"
+  "bookstore_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

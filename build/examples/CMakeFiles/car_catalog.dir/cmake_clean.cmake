@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/car_catalog.dir/car_catalog.cpp.o"
+  "CMakeFiles/car_catalog.dir/car_catalog.cpp.o.d"
+  "car_catalog"
+  "car_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/car_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

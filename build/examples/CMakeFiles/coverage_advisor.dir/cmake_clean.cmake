@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_advisor.dir/coverage_advisor.cpp.o"
+  "CMakeFiles/coverage_advisor.dir/coverage_advisor.cpp.o.d"
+  "coverage_advisor"
+  "coverage_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relcont_shell.dir/relcont_shell.cpp.o"
+  "CMakeFiles/relcont_shell.dir/relcont_shell.cpp.o.d"
+  "relcont_shell"
+  "relcont_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relcont_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for relcont_shell.
+# This may be replaced when dependencies are built.

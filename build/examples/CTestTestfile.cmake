@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "sh" "-c" "/root/repo/build/examples/quickstart | grep -q 'ada, research, engine'")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_car_catalog "sh" "-c" "/root/repo/build/examples/car_catalog | grep -q 'Q1 relatively contained in Q2: yes'")
+set_tests_properties(example_car_catalog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_car_catalog_ablation "sh" "-c" "/root/repo/build/examples/car_catalog | grep -q 'without RedCars: yes'")
+set_tests_properties(example_car_catalog_ablation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bookstore "sh" "-c" "/root/repo/build/examples/bookstore_access_patterns | grep -q 'chained'")
+set_tests_properties(example_bookstore PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_coverage_advisor "sh" "-c" "/root/repo/build/examples/coverage_advisor | grep -q 'only for the current sources'")
+set_tests_properties(example_coverage_advisor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell_contained "sh" "-c" "printf 'view v(X) :- p(X, Y).\\nquery a(X) :- p(X, Y).\\nquery b(X) :- p(X, Z).\\ncontained a b\\nquit\\n' | /root/repo/build/examples/relcont_shell --batch | grep -q '^yes'")
+set_tests_properties(example_shell_contained PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell_explain "sh" "-c" "printf 'view v(X) :- p(X, X).\\nfact v(c).\\nquery a(X) :- p(X, Y).\\nexplain a\\nquit\\n' | /root/repo/build/examples/relcont_shell --batch | grep -q 'via v'")
+set_tests_properties(example_shell_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

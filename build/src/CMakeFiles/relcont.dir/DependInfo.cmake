@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/binding/adornment.cc" "src/CMakeFiles/relcont.dir/binding/adornment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/binding/adornment.cc.o.d"
+  "/root/repo/src/binding/dom_containment.cc" "src/CMakeFiles/relcont.dir/binding/dom_containment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/binding/dom_containment.cc.o.d"
+  "/root/repo/src/binding/dom_plan.cc" "src/CMakeFiles/relcont.dir/binding/dom_plan.cc.o" "gcc" "src/CMakeFiles/relcont.dir/binding/dom_plan.cc.o.d"
+  "/root/repo/src/binding/sound_plan.cc" "src/CMakeFiles/relcont.dir/binding/sound_plan.cc.o" "gcc" "src/CMakeFiles/relcont.dir/binding/sound_plan.cc.o.d"
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/relcont.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/relcont.dir/common/interner.cc.o.d"
+  "/root/repo/src/common/rational.cc" "src/CMakeFiles/relcont.dir/common/rational.cc.o" "gcc" "src/CMakeFiles/relcont.dir/common/rational.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/relcont.dir/common/status.cc.o" "gcc" "src/CMakeFiles/relcont.dir/common/status.cc.o.d"
+  "/root/repo/src/constraints/order_constraints.cc" "src/CMakeFiles/relcont.dir/constraints/order_constraints.cc.o" "gcc" "src/CMakeFiles/relcont.dir/constraints/order_constraints.cc.o.d"
+  "/root/repo/src/containment/canonical.cc" "src/CMakeFiles/relcont.dir/containment/canonical.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/canonical.cc.o.d"
+  "/root/repo/src/containment/comparison_containment.cc" "src/CMakeFiles/relcont.dir/containment/comparison_containment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/comparison_containment.cc.o.d"
+  "/root/repo/src/containment/cq_containment.cc" "src/CMakeFiles/relcont.dir/containment/cq_containment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/cq_containment.cc.o.d"
+  "/root/repo/src/containment/expansion.cc" "src/CMakeFiles/relcont.dir/containment/expansion.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/expansion.cc.o.d"
+  "/root/repo/src/containment/homomorphism.cc" "src/CMakeFiles/relcont.dir/containment/homomorphism.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/homomorphism.cc.o.d"
+  "/root/repo/src/containment/minimize.cc" "src/CMakeFiles/relcont.dir/containment/minimize.cc.o" "gcc" "src/CMakeFiles/relcont.dir/containment/minimize.cc.o.d"
+  "/root/repo/src/datalog/atom.cc" "src/CMakeFiles/relcont.dir/datalog/atom.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/atom.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/relcont.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/relcont.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/program.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/CMakeFiles/relcont.dir/datalog/rule.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/rule.cc.o.d"
+  "/root/repo/src/datalog/substitution.cc" "src/CMakeFiles/relcont.dir/datalog/substitution.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/substitution.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/CMakeFiles/relcont.dir/datalog/term.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/term.cc.o.d"
+  "/root/repo/src/datalog/unfold.cc" "src/CMakeFiles/relcont.dir/datalog/unfold.cc.o" "gcc" "src/CMakeFiles/relcont.dir/datalog/unfold.cc.o.d"
+  "/root/repo/src/eval/database.cc" "src/CMakeFiles/relcont.dir/eval/database.cc.o" "gcc" "src/CMakeFiles/relcont.dir/eval/database.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/relcont.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/relcont.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/relcont/binding_containment.cc" "src/CMakeFiles/relcont.dir/relcont/binding_containment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/binding_containment.cc.o.d"
+  "/root/repo/src/relcont/certain_answers.cc" "src/CMakeFiles/relcont.dir/relcont/certain_answers.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/certain_answers.cc.o.d"
+  "/root/repo/src/relcont/cwa.cc" "src/CMakeFiles/relcont.dir/relcont/cwa.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/cwa.cc.o.d"
+  "/root/repo/src/relcont/decide.cc" "src/CMakeFiles/relcont.dir/relcont/decide.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/decide.cc.o.d"
+  "/root/repo/src/relcont/gav.cc" "src/CMakeFiles/relcont.dir/relcont/gav.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/gav.cc.o.d"
+  "/root/repo/src/relcont/pi2p_reduction.cc" "src/CMakeFiles/relcont.dir/relcont/pi2p_reduction.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/pi2p_reduction.cc.o.d"
+  "/root/repo/src/relcont/relative_containment.cc" "src/CMakeFiles/relcont.dir/relcont/relative_containment.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/relative_containment.cc.o.d"
+  "/root/repo/src/relcont/workload.cc" "src/CMakeFiles/relcont.dir/relcont/workload.cc.o" "gcc" "src/CMakeFiles/relcont.dir/relcont/workload.cc.o.d"
+  "/root/repo/src/rewriting/bucket.cc" "src/CMakeFiles/relcont.dir/rewriting/bucket.cc.o" "gcc" "src/CMakeFiles/relcont.dir/rewriting/bucket.cc.o.d"
+  "/root/repo/src/rewriting/comparison_plans.cc" "src/CMakeFiles/relcont.dir/rewriting/comparison_plans.cc.o" "gcc" "src/CMakeFiles/relcont.dir/rewriting/comparison_plans.cc.o.d"
+  "/root/repo/src/rewriting/inverse_rules.cc" "src/CMakeFiles/relcont.dir/rewriting/inverse_rules.cc.o" "gcc" "src/CMakeFiles/relcont.dir/rewriting/inverse_rules.cc.o.d"
+  "/root/repo/src/rewriting/losslessness.cc" "src/CMakeFiles/relcont.dir/rewriting/losslessness.cc.o" "gcc" "src/CMakeFiles/relcont.dir/rewriting/losslessness.cc.o.d"
+  "/root/repo/src/rewriting/views.cc" "src/CMakeFiles/relcont.dir/rewriting/views.cc.o" "gcc" "src/CMakeFiles/relcont.dir/rewriting/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certain_answers_test.dir/certain_answers_test.cc.o"
+  "CMakeFiles/certain_answers_test.dir/certain_answers_test.cc.o.d"
+  "certain_answers_test"
+  "certain_answers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certain_answers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_plans_test.dir/comparison_plans_test.cc.o"
+  "CMakeFiles/comparison_plans_test.dir/comparison_plans_test.cc.o.d"
+  "comparison_plans_test"
+  "comparison_plans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_plans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

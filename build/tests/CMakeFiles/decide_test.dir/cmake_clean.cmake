@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decide_test.dir/decide_test.cc.o"
+  "CMakeFiles/decide_test.dir/decide_test.cc.o.d"
+  "decide_test"
+  "decide_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

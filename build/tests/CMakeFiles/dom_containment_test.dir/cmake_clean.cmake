@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dom_containment_test.dir/dom_containment_test.cc.o"
+  "CMakeFiles/dom_containment_test.dir/dom_containment_test.cc.o.d"
+  "dom_containment_test"
+  "dom_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dom_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_recursive_test.dir/one_recursive_test.cc.o"
+  "CMakeFiles/one_recursive_test.dir/one_recursive_test.cc.o.d"
+  "one_recursive_test"
+  "one_recursive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_recursive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

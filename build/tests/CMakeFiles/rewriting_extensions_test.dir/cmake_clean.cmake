@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriting_extensions_test.dir/rewriting_extensions_test.cc.o"
+  "CMakeFiles/rewriting_extensions_test.dir/rewriting_extensions_test.cc.o.d"
+  "rewriting_extensions_test"
+  "rewriting_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriting_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sound_plan_test.dir/sound_plan_test.cc.o"
+  "CMakeFiles/sound_plan_test.dir/sound_plan_test.cc.o.d"
+  "sound_plan_test"
+  "sound_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sound_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
