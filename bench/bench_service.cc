@@ -1,0 +1,160 @@
+// Throughput benchmark for the containment-decision service: requests/sec
+// at 1/4/8 worker threads, cold cache (every request re-derived) vs warm
+// cache (repeated workload served from the canonical-form cache). Writes
+// BENCH_service.json next to the working directory so the perf trajectory
+// is recorded across PRs.
+//
+// This is a standalone binary (not google-benchmark) because the quantity
+// of interest is end-to-end batch throughput of the executor, not
+// per-iteration latency of a hot loop.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "relcont/workload.h"
+#include "service/service.h"
+
+namespace relcont {
+namespace {
+
+struct Measurement {
+  int threads = 1;
+  const char* cache = "cold";
+  size_t requests = 0;
+  double seconds = 0;
+  double requests_per_sec() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+std::vector<DecisionRequest> DistinctPairs(int count,
+                                           std::string* views_text) {
+  Interner gen;
+  RandomQueryOptions options;
+  options.num_atoms = 4;
+  options.num_variables = 5;
+  options.num_predicates = 2;
+  options.arity = 2;
+  options.head_arity = 1;
+  ViewSet views = RandomViews(options, 5, &gen);
+  for (const ViewDefinition& v : views.views()) {
+    *views_text += v.rule.ToString(gen);
+    *views_text += '\n';
+  }
+  std::vector<DecisionRequest> pairs;
+  for (int i = 0; i < count; ++i) {
+    options.seed = 7000 + i;
+    Rule qa = RandomConjunctiveQuery(options, "qa", &gen);
+    options.seed = 9000 + i;
+    Rule qb = RandomConjunctiveQuery(options, "qb", &gen);
+    DecisionRequest request;
+    request.q1_text = qa.ToString(gen);
+    request.q2_text = qb.ToString(gen);
+    request.catalog = "bench";
+    pairs.push_back(std::move(request));
+  }
+  return pairs;
+}
+
+Measurement Run(ContainmentService* service,
+                const std::vector<DecisionRequest>& requests, int threads,
+                const char* cache_label) {
+  Measurement m;
+  m.threads = threads;
+  m.cache = cache_label;
+  m.requests = requests.size();
+  auto start = std::chrono::steady_clock::now();
+  std::vector<DecisionResponse> responses =
+      service->ExecuteBatch(requests, threads);
+  m.seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  for (const DecisionResponse& r : responses) {
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   r.status.ToString().c_str());
+    }
+  }
+  std::printf("  threads=%d cache=%-4s requests=%zu  %.0f req/s\n",
+              threads, cache_label, m.requests, m.requests_per_sec());
+  return m;
+}
+
+int Main() {
+  std::string views_text;
+  std::vector<DecisionRequest> pairs = DistinctPairs(16, &views_text);
+
+  // Cold workload: every request bypasses the cache, so each one pays the
+  // full decision cost. Kept smaller — these are the expensive ones.
+  std::vector<DecisionRequest> cold;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const DecisionRequest& p : pairs) {
+      DecisionRequest r = p;
+      r.bypass_cache = true;
+      cold.push_back(std::move(r));
+    }
+  }
+  // Warm workload: the repeated-request shape the service is built for.
+  std::vector<DecisionRequest> warm;
+  for (int rep = 0; rep < 100; ++rep) {
+    for (const DecisionRequest& p : pairs) warm.push_back(p);
+  }
+
+  std::printf("bench_service: %zu distinct pairs, cold=%zu warm=%zu\n",
+              pairs.size(), cold.size(), warm.size());
+  std::vector<Measurement> results;
+  for (int threads : {1, 4, 8}) {
+    ContainmentService service;
+    if (!service.catalogs().Register("bench", views_text).ok()) {
+      std::fprintf(stderr, "catalog registration failed\n");
+      return 1;
+    }
+    results.push_back(Run(&service, cold, threads, "cold"));
+    // Prewarm, then measure the steady state.
+    service.ExecuteBatch(pairs, threads);
+    results.push_back(Run(&service, warm, threads, "warm"));
+  }
+
+  double cold1 = 0;
+  double warm8 = 0;
+  for (const Measurement& m : results) {
+    if (m.threads == 1 && std::string(m.cache) == "cold") {
+      cold1 = m.requests_per_sec();
+    }
+    if (m.threads == 8 && std::string(m.cache) == "warm") {
+      warm8 = m.requests_per_sec();
+    }
+  }
+  double speedup = cold1 > 0 ? warm8 / cold1 : 0;
+  std::printf("warm-8-thread vs cold-1-thread speedup: %.1fx\n", speedup);
+
+  FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"service_throughput\",\n"
+               "  \"distinct_pairs\": %zu,\n  \"results\": [\n",
+               pairs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"cache\": \"%s\", \"requests\": "
+                 "%zu, \"seconds\": %.6f, \"requests_per_sec\": %.1f}%s\n",
+                 m.threads, m.cache, m.requests, m.seconds,
+                 m.requests_per_sec(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"speedup_warm8_vs_cold1\": %.2f\n}\n", speedup);
+  std::fclose(out);
+  std::printf("wrote BENCH_service.json\n");
+  return speedup >= 5.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace relcont
+
+int main() { return relcont::Main(); }

@@ -1,0 +1,61 @@
+// The containment-decision server: speaks the line-delimited protocol of
+// docs/SERVICE.md over stdin/stdout. Each line is one request; responses
+// are line-delimited too, so the binary composes with pipes, netcat-style
+// wrappers, and test harnesses.
+//
+//   $ ./build/examples/relcont_serve
+//   > CATALOG cars VIEW redcars(C, M, Y) :- cardesc(C, M, red, Y).
+//   OK catalog cars v1 views=1 patterns=0
+//   > DEFINE q1 q1(C) :- cardesc(C, M, Col, Y).
+//   OK query q1 rules=1
+//   > DEFINE q2 q2(C) :- cardesc(C, M, red, Y).
+//   OK query q2 rules=1
+//   > CONTAINED? q2 q1 @cars
+//   YES section3 MISS 184us
+//   > CONTAINED? q2 q1 @cars
+//   YES section3 HIT 2us
+//
+// Flags:
+//   --batch        suppress the prompt (for piped input)
+//   --threads N    fan-out width for BATCH BEGIN/END groups (default 4)
+//   --cache N      decision-cache capacity in entries (default 4096)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.h"
+
+int main(int argc, char** argv) {
+  bool interactive = true;
+  int threads = 4;
+  relcont::ServiceConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--batch") == 0) {
+      interactive = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      config.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: relcont_serve [--batch] [--threads N] [--cache N]\n");
+      return 2;
+    }
+  }
+  relcont::ContainmentService service(config);
+  relcont::ServerSession session(&service, threads);
+  if (interactive) {
+    std::printf("relcont serve — HELP for the protocol\n> ");
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string response = session.HandleLine(line);
+    std::fputs(response.c_str(), stdout);
+    std::fflush(stdout);
+    if (interactive) std::printf("> ");
+  }
+  return 0;
+}

@@ -221,8 +221,10 @@ class Shell {
       std::printf("error: %s\n", d.status().ToString().c_str());
       return;
     }
-    std::printf("%s (relative to the declared sources; decided by %s)\n",
-                d->contained ? "yes" : "no", d->regime);
+    std::printf("%s (relative to the declared sources; decided by %.*s)\n",
+                d->contained ? "yes" : "no",
+                static_cast<int>(d->regime_name().size()),
+                d->regime_name().data());
     if (!d->contained && d->witness.has_value()) {
       std::printf("  witness: %s\n", d->witness->ToString(interner_).c_str());
     }

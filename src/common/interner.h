@@ -20,7 +20,15 @@ inline constexpr SymbolId kInvalidSymbol = -1;
 ///
 /// The library uses one interner per "universe" of discourse (typically one
 /// per test or application session); all datalog structures built against it
-/// carry SymbolIds and are cheap to hash and compare. Not thread-safe.
+/// carry SymbolIds and are cheap to hash and compare.
+///
+/// Thread-safety: NONE, by design — Intern() and Fresh() mutate the table,
+/// and even logically read-only decision procedures allocate fresh symbols
+/// through it. Concurrent work must use one Interner per thread and keep
+/// every structure carrying SymbolIds confined to the thread that owns the
+/// interner those ids came from (the service layer's worker arenas do
+/// exactly this; cross-thread values travel as rendered text or canonical
+/// fingerprints instead).
 class Interner {
  public:
   Interner() = default;

@@ -1,5 +1,8 @@
 #include "containment/canonical.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "eval/evaluator.h"
 
 namespace relcont {
@@ -22,14 +25,103 @@ Result<FrozenQuery> FreezeRule(const Rule& q, Interner* interner) {
 }
 
 Result<bool> UnionContainedInDatalog(const UnionQuery& q1, const Program& p,
-                                     SymbolId goal, Interner* interner) {
+                                     SymbolId goal, Interner* interner,
+                                     Rule* witness) {
   for (const Rule& d : q1.disjuncts) {
     RELCONT_ASSIGN_OR_RETURN(FrozenQuery frozen, FreezeRule(d, interner));
     RELCONT_ASSIGN_OR_RETURN(EvalResult eval,
                              Evaluate(p, frozen.database));
-    if (!eval.database.Contains(goal, frozen.head_tuple)) return false;
+    if (!eval.database.Contains(goal, frozen.head_tuple)) {
+      if (witness != nullptr) *witness = d;
+      return false;
+    }
   }
   return true;
+}
+
+namespace {
+
+/// Renders terms with variables replaced by "?<first-occurrence index>".
+class FingerprintRenderer {
+ public:
+  explicit FingerprintRenderer(const Interner& interner)
+      : interner_(interner) {}
+
+  void AppendTerm(const Term& t, std::string* out) {
+    switch (t.kind()) {
+      case Term::Kind::kVariable: {
+        auto [it, inserted] =
+            indices_.try_emplace(t.symbol(), indices_.size());
+        out->push_back('?');
+        out->append(std::to_string(it->second));
+        return;
+      }
+      case Term::Kind::kConstant:
+        out->append(t.value().ToString(interner_));
+        return;
+      case Term::Kind::kFunction: {
+        out->append(interner_.NameOf(t.symbol()));
+        out->push_back('(');
+        for (size_t i = 0; i < t.args().size(); ++i) {
+          if (i > 0) out->push_back(',');
+          AppendTerm(t.args()[i], out);
+        }
+        out->push_back(')');
+        return;
+      }
+    }
+  }
+
+  void AppendAtom(const Atom& a, std::string* out) {
+    out->append(interner_.NameOf(a.predicate));
+    out->push_back('(');
+    for (int i = 0; i < a.arity(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendTerm(a.args[i], out);
+    }
+    out->push_back(')');
+  }
+
+ private:
+  const Interner& interner_;
+  std::unordered_map<SymbolId, size_t> indices_;
+};
+
+}  // namespace
+
+std::string CanonicalRuleFingerprint(const Rule& q, const Interner& interner) {
+  FingerprintRenderer renderer(interner);
+  std::string out;
+  renderer.AppendAtom(q.head, &out);
+  out.append(":-");
+  for (size_t i = 0; i < q.body.size(); ++i) {
+    if (i > 0) out.push_back(';');
+    renderer.AppendAtom(q.body[i], &out);
+  }
+  for (const Comparison& c : q.comparisons) {
+    out.push_back(';');
+    renderer.AppendTerm(c.lhs, &out);
+    out.append(ComparisonOpToString(c.op));
+    renderer.AppendTerm(c.rhs, &out);
+  }
+  return out;
+}
+
+std::string CanonicalProgramFingerprint(const Program& p, SymbolId goal,
+                                        const Interner& interner) {
+  std::vector<std::string> parts;
+  parts.reserve(p.rules.size());
+  for (const Rule& r : p.rules) {
+    parts.push_back(CanonicalRuleFingerprint(r, interner));
+  }
+  std::sort(parts.begin(), parts.end());
+  std::string out = interner.NameOf(goal);
+  out.push_back('#');
+  for (const std::string& part : parts) {
+    out.append(part);
+    out.push_back('\n');
+  }
+  return out;
 }
 
 }  // namespace relcont

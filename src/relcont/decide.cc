@@ -20,6 +20,33 @@ bool HasComparisons(const ViewSet& views) {
 
 }  // namespace
 
+std::string_view RegimeName(Regime regime) {
+  switch (regime) {
+    case Regime::kUnknown:
+      return "unknown";
+    case Regime::kSection3:
+      return "section3";
+    case Regime::kTheorem32:
+      return "theorem32";
+    case Regime::kSection4:
+      return "section4";
+    case Regime::kTheorem51:
+      return "theorem51";
+    case Regime::kTheorem52:
+      return "theorem52";
+  }
+  return "unknown";
+}
+
+Regime ParseRegime(std::string_view name) {
+  if (name == "section3") return Regime::kSection3;
+  if (name == "theorem32") return Regime::kTheorem32;
+  if (name == "section4") return Regime::kSection4;
+  if (name == "theorem51") return Regime::kTheorem51;
+  if (name == "theorem52") return Regime::kTheorem52;
+  return Regime::kUnknown;
+}
+
 Result<Decision> DecideRelativeContainment(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     const BindingPatterns& patterns, Interner* interner,
@@ -38,7 +65,7 @@ Result<Decision> DecideRelativeContainment(
         RelativelyContainedWithBindingPatterns(q1, q2, views, patterns,
                                                interner, options.dom));
     out.contained = r.contained;
-    out.regime = "section4";
+    out.regime = Regime::kSection4;
     out.witness = r.counterexample;
     return out;
   }
@@ -46,11 +73,14 @@ Result<Decision> DecideRelativeContainment(
     if (!HasComparisons(q1.program)) {
       RelativeContainmentOptions rel_opts;
       rel_opts.unfold = options.unfold;
+      Rule witness;
       RELCONT_ASSIGN_OR_RETURN(
           bool contained,
-          RelativelyContainedViaExpansion(q1, q2, views, interner, rel_opts));
+          RelativelyContainedViaExpansion(q1, q2, views, interner, rel_opts,
+                                          &witness));
       out.contained = contained;
-      out.regime = "theorem52";
+      out.regime = Regime::kTheorem52;
+      if (!contained) out.witness = witness;
       return out;
     }
     RelativeContainmentOptions rel_opts;
@@ -59,7 +89,7 @@ Result<Decision> DecideRelativeContainment(
         RelativeContainmentResult r,
         RelativelyContainedWithComparisons(q1, q2, views, interner, rel_opts));
     out.contained = r.contained;
-    out.regime = "theorem51";
+    out.regime = Regime::kTheorem51;
     out.witness = r.witness;
     return out;
   }
@@ -67,11 +97,14 @@ Result<Decision> DecideRelativeContainment(
     OneRecursiveOptions rec_opts;
     rec_opts.unfold = options.unfold;
     rec_opts.max_rule_applications = options.max_rule_applications;
+    Rule witness;
     RELCONT_ASSIGN_OR_RETURN(
         bool contained,
-        RelativelyContainedOneRecursive(q1, q2, views, interner, rec_opts));
+        RelativelyContainedOneRecursive(q1, q2, views, interner, rec_opts,
+                                        &witness));
     out.contained = contained;
-    out.regime = "theorem32";
+    out.regime = Regime::kTheorem32;
+    if (!contained) out.witness = witness;
     return out;
   }
   RelativeContainmentOptions rel_opts;
@@ -80,7 +113,7 @@ Result<Decision> DecideRelativeContainment(
       RelativeContainmentResult r,
       RelativelyContained(q1, q2, views, interner, rel_opts));
   out.contained = r.contained;
-  out.regime = "section3";
+  out.regime = Regime::kSection3;
   out.witness = r.witness;
   return out;
 }

@@ -1,6 +1,8 @@
 #ifndef RELCONT_RELCONT_DECIDE_H_
 #define RELCONT_RELCONT_DECIDE_H_
 
+#include <string_view>
+
 #include "binding/adornment.h"
 #include "relcont/binding_containment.h"
 #include "relcont/relative_containment.h"
@@ -28,17 +30,44 @@ struct DecideOptions {
   int max_rule_applications = 12;
 };
 
-struct Decision {
-  bool contained = false;
-  /// Which regime decided (for diagnostics): "section3", "theorem32",
-  /// "section4", "theorem51", "theorem52".
-  const char* regime = "";
-  /// A witness when not contained and the regime produces one: a plan
-  /// disjunct (section3/theorem51) or a counterexample expansion
-  /// (section4).
-  std::optional<Rule> witness;
+/// Which part of the paper decided a containment question.
+enum class Regime {
+  kUnknown = 0,
+  kSection3,    ///< Theorem 3.1: nonrecursive, comparison-free.
+  kTheorem32,   ///< One recursive query.
+  kSection4,    ///< Binding patterns (Theorems 4.1/4.2).
+  kTheorem51,   ///< Comparisons on both sides.
+  kTheorem52,   ///< Q1 comparison-free, Q2/views with comparisons.
 };
 
+/// A short stable name for `regime` ("section3", "theorem32", "section4",
+/// "theorem51", "theorem52"; "unknown" for the default value).
+std::string_view RegimeName(Regime regime);
+
+/// Parses the names produced by RegimeName; Regime::kUnknown on no match.
+Regime ParseRegime(std::string_view name);
+
+struct Decision {
+  bool contained = false;
+  /// Which regime decided (for diagnostics and service metrics).
+  Regime regime = Regime::kUnknown;
+  /// A witness when not contained: every regime produces one. For
+  /// section3/theorem51 it is a failing plan disjunct over the sources
+  /// (theorem51 witnesses carry the comparisons their views guarantee, so
+  /// the disjunct genuinely fails on a consistent instance); for
+  /// theorem32/theorem52 a failing plan-expansion disjunct; for section4 a
+  /// counterexample expansion. Evaluating the witness body (frozen) yields
+  /// a source instance where certain(Q1) ⊄ certain(Q2).
+  std::optional<Rule> witness;
+
+  std::string_view regime_name() const { return RegimeName(regime); }
+};
+
+/// Thread-safety: this call is pure with respect to everything except
+/// `interner`, which it mutates (fresh variables, Skolem symbols, frozen
+/// constants). Interner is NOT thread-safe, so concurrent callers must not
+/// share one — give each thread its own Interner and parse the inputs
+/// against it (see service/service.h for the worker-arena pattern).
 Result<Decision> DecideRelativeContainment(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     const BindingPatterns& patterns, Interner* interner,

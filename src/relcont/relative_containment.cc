@@ -50,7 +50,7 @@ Result<bool> RelativelyEquivalent(const GoalQuery& q1, const GoalQuery& q2,
 
 Result<bool> RelativelyContainedOneRecursive(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
-    Interner* interner, const OneRecursiveOptions& options) {
+    Interner* interner, const OneRecursiveOptions& options, Rule* witness) {
   bool q1_recursive = q1.program.IsRecursive();
   bool q2_recursive = q2.program.IsRecursive();
   if (q1_recursive && q2_recursive) {
@@ -61,6 +61,9 @@ Result<bool> RelativelyContainedOneRecursive(
   if (!q1_recursive && !q2_recursive) {
     RELCONT_ASSIGN_OR_RETURN(RelativeContainmentResult plain,
                              RelativelyContained(q1, q2, views, interner));
+    if (!plain.contained && witness != nullptr && plain.witness.has_value()) {
+      *witness = *plain.witness;
+    }
     return plain.contained;
   }
   if (q2_recursive) {
@@ -73,7 +76,7 @@ Result<bool> RelativelyContainedOneRecursive(
         PlanToUnion(p1, q1.goal, views, interner, options.unfold));
     RELCONT_ASSIGN_OR_RETURN(
         Program p2, MaximallyContainedPlan(q2.program, views, interner));
-    return UnionContainedInDatalog(plan1, p2, q2.goal, interner);
+    return UnionContainedInDatalog(plan1, p2, q2.goal, interner, witness);
   }
   // Q1 recursive: P1^exp ⊑ Q2 via bounded expansion search. Build the
   // expansion with the binding-pattern machinery (empty pattern set) so
@@ -99,7 +102,7 @@ Result<bool> RelativelyContainedOneRecursive(
   bounds.max_rule_applications = options.max_rule_applications;
   bounds.max_expansions = options.max_expansions;
   return DatalogContainedInUcqBounded(pruned, q1.goal, q2_ucq, interner,
-                                      bounds);
+                                      bounds, witness);
 }
 
 Result<std::set<SymbolId>> RelevantSources(const GoalQuery& query,
@@ -133,7 +136,8 @@ Result<std::set<SymbolId>> RelevantSources(const GoalQuery& query,
 
 Result<bool> RelativelyContainedViaExpansion(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
-    Interner* interner, const RelativeContainmentOptions& options) {
+    Interner* interner, const RelativeContainmentOptions& options,
+    Rule* witness) {
   for (const Rule& r : q1.program.rules) {
     if (!r.comparisons.empty()) {
       return Status::Unsupported(
@@ -150,7 +154,15 @@ Result<bool> RelativelyContainedViaExpansion(
   RELCONT_ASSIGN_OR_RETURN(
       UnionQuery q2_ucq,
       UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
-  return UnionContainedInUnionComplete(p1_exp, q2_ucq);
+  for (const Rule& d : p1_exp.disjuncts) {
+    RELCONT_ASSIGN_OR_RETURN(bool contained,
+                             CqContainedInUnionComplete(d, q2_ucq));
+    if (!contained) {
+      if (witness != nullptr) *witness = d;
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
@@ -173,7 +185,12 @@ Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
                              CqContainedInUnionComplete(augmented, out.plan2));
     if (!contained) {
       out.contained = false;
-      out.witness = d;
+      // The witness is the *augmented* disjunct — the raw disjunct without
+      // its view-guaranteed comparisons may still be contained, so only the
+      // augmented form genuinely fails on a consistent source instance
+      // (this mirrors the section3 path, where the disjunct that failed the
+      // check is exactly the witness reported).
+      out.witness = augmented;
       break;
     }
   }

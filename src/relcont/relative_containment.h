@@ -55,9 +55,12 @@ Result<bool> RelativelyEquivalent(const GoalQuery& q1, const GoalQuery& q2,
 /// the reduction  Q1 ⊑_V Q2  ⇔  P1^exp ⊑ Q2 , where P1 is Q1's
 /// maximally-contained plan; the right-hand side is ordinary containment of
 /// UCQs with comparisons (in Π₂ᴾ; the bound is tight by Theorem 3.3).
+/// When the containment fails and `witness` is non-null, it receives the
+/// failing expansion disjunct of Q1's plan.
 Result<bool> RelativelyContainedViaExpansion(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
-    Interner* interner, const RelativeContainmentOptions& options = {});
+    Interner* interner, const RelativeContainmentOptions& options = {},
+    Rule* witness = nullptr);
 
 /// Theorem 3.2: relative containment is decidable when at most one of the
 /// two queries is recursive. The two directions differ sharply:
@@ -79,9 +82,13 @@ struct OneRecursiveOptions {
   int64_t max_expansions = 200'000;
 };
 
+/// When the containment fails and `witness` is non-null, it receives a
+/// counterexample conjunctive query over the sources (a plan disjunct or
+/// bounded expansion, depending on which query recurses).
 Result<bool> RelativelyContainedOneRecursive(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
-    Interner* interner, const OneRecursiveOptions& options = {});
+    Interner* interner, const OneRecursiveOptions& options = {},
+    Rule* witness = nullptr);
 
 /// The sources that MATTER for a (nonrecursive, comparison-free) query:
 /// dropping an irrelevant source provably never changes the query's

@@ -1,0 +1,73 @@
+#include "service/decision_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace relcont {
+
+DecisionCache::DecisionCache(size_t capacity, size_t num_shards) {
+  num_shards = std::max<size_t>(1, num_shards);
+  per_shard_capacity_ = std::max<size_t>(1, (capacity + num_shards - 1) /
+                                                num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+DecisionCache::Shard& DecisionCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<CachedDecision> DecisionCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void DecisionCache::Insert(const std::string& key, CachedDecision value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index[key] = shard.lru.begin();
+}
+
+CacheStats DecisionCache::Stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void DecisionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace relcont

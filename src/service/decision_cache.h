@@ -1,0 +1,87 @@
+#ifndef RELCONT_SERVICE_DECISION_CACHE_H_
+#define RELCONT_SERVICE_DECISION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relcont/decide.h"
+
+namespace relcont {
+
+/// A containment decision in interner-independent form, so one cache can
+/// serve every worker arena: the witness travels as rendered text rather
+/// than as a Rule full of thread-local SymbolIds.
+struct CachedDecision {
+  bool contained = false;
+  Regime regime = Regime::kUnknown;
+  /// Rendered witness ("" when the decision has none).
+  std::string witness_text;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+};
+
+/// A sharded LRU cache of containment decisions, keyed by the canonical
+/// fingerprint of (Q1, Q2, catalog id + version, options) — see
+/// CanonicalProgramFingerprint in containment/canonical.h for why the key
+/// is invariant under variable renaming and rule reordering.
+///
+/// Each shard holds its own mutex, recency list, and counters, so lookups
+/// from different workers contend only when their keys collide on a shard.
+/// Thread-safe.
+class DecisionCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` shards (each shard holds at least one entry).
+  explicit DecisionCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns the cached decision and refreshes its recency, or nullopt.
+  /// Counts a hit or a miss.
+  std::optional<CachedDecision> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently
+  /// used entry when the shard is full.
+  void Insert(const std::string& key, CachedDecision value);
+
+  /// Aggregated counters across shards.
+  CacheStats Stats() const;
+
+  /// Drops every entry; counters keep accumulating.
+  void Clear();
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<std::string, CachedDecision>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, CachedDecision>>::
+                           iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_SERVICE_DECISION_CACHE_H_

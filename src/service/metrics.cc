@@ -1,0 +1,82 @@
+#include "service/metrics.h"
+
+#include <cstdio>
+
+namespace relcont {
+
+void LatencyHistogram::Record(uint64_t micros) {
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && micros >= (uint64_t{1} << bucket)) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::pair<uint64_t, uint64_t> LatencyHistogram::BucketBounds(int bucket) {
+  uint64_t lower = bucket == 0 ? 0 : uint64_t{1} << (bucket - 1);
+  uint64_t upper =
+      bucket == kBuckets - 1 ? 0 : uint64_t{1} << bucket;
+  return {lower, upper};
+}
+
+void ServiceMetrics::RecordRequest(Regime regime, uint64_t latency_micros,
+                                   bool error, bool cache_hit) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (error) errors_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_hit) cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  by_regime_[static_cast<int>(regime)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  latency_.Record(latency_micros);
+}
+
+std::string ServiceMetrics::Dump(const CacheStats& cache) const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "requests_total %llu\nerrors_total %llu\n",
+                static_cast<unsigned long long>(requests()),
+                static_cast<unsigned long long>(errors()));
+  out += line;
+  for (int i = 0; i < kNumRegimes; ++i) {
+    Regime regime = static_cast<Regime>(i);
+    uint64_t count = RegimeCount(regime);
+    if (count == 0) continue;
+    std::snprintf(line, sizeof(line), "decisions_by_regime{%.*s} %llu\n",
+                  static_cast<int>(RegimeName(regime).size()),
+                  RegimeName(regime).data(),
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "cache_hits %llu\ncache_misses %llu\ncache_evictions "
+                "%llu\ncache_entries %llu\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(cache.entries));
+  out += line;
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    uint64_t count = latency_.BucketCount(i);
+    if (count == 0) continue;
+    auto [lower, upper] = LatencyHistogram::BucketBounds(i);
+    if (upper == 0) {
+      std::snprintf(line, sizeof(line), "latency_us{ge=%llu} %llu\n",
+                    static_cast<unsigned long long>(lower),
+                    static_cast<unsigned long long>(count));
+    } else {
+      std::snprintf(line, sizeof(line), "latency_us{lt=%llu} %llu\n",
+                    static_cast<unsigned long long>(upper),
+                    static_cast<unsigned long long>(count));
+    }
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace relcont

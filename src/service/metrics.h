@@ -1,0 +1,76 @@
+#ifndef RELCONT_SERVICE_METRICS_H_
+#define RELCONT_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "relcont/decide.h"
+#include "service/decision_cache.h"
+
+namespace relcont {
+
+/// A lock-free latency histogram with power-of-two microsecond buckets:
+/// bucket i counts latencies in [2^(i-1), 2^i) µs (bucket 0 is [0, 1) µs,
+/// the last bucket absorbs everything larger). Thread-safe.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 24;  // covers up to ~8.4 s
+
+  void Record(uint64_t micros);
+
+  uint64_t BucketCount(int bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  uint64_t TotalCount() const;
+
+  /// [lower, upper) bounds of `bucket` in microseconds; upper is 0 for the
+  /// unbounded last bucket.
+  static std::pair<uint64_t, uint64_t> BucketBounds(int bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Request-level counters for the containment service: totals, errors,
+/// cache hits observed at the request level, per-regime decision counts,
+/// and the latency histogram. All counters are atomics — recording from
+/// many workers never blocks. Thread-safe.
+class ServiceMetrics {
+ public:
+  static constexpr int kNumRegimes = 6;  // Regime enumerators incl. kUnknown
+
+  /// Records one finished request. `regime` is kUnknown for errors.
+  void RecordRequest(Regime regime, uint64_t latency_micros, bool error,
+                     bool cache_hit);
+
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t RegimeCount(Regime regime) const {
+    return by_regime_[static_cast<int>(regime)].load(
+        std::memory_order_relaxed);
+  }
+  const LatencyHistogram& latency() const { return latency_; }
+
+  /// Renders a multi-line text dump: request totals, per-regime counts,
+  /// the supplied cache counters, and the nonempty latency buckets.
+  std::string Dump(const CacheStats& cache) const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::array<std::atomic<uint64_t>, kNumRegimes> by_regime_{};
+  LatencyHistogram latency_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_SERVICE_METRICS_H_

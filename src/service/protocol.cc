@@ -1,0 +1,210 @@
+#include "service/protocol.h"
+
+#include <sstream>
+
+#include "datalog/parser.h"
+
+namespace relcont {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+std::string JoinFrom(const std::vector<std::string>& tokens, size_t begin,
+                     size_t end) {
+  std::string out;
+  for (size_t i = begin; i < end; ++i) {
+    if (!out.empty()) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+ServerSession::ServerSession(ContainmentService* service, int batch_threads)
+    : service_(service), batch_threads_(batch_threads) {}
+
+std::string ServerSession::HandleLine(const std::string& raw_line) {
+  std::string line = Trim(raw_line);
+  if (line.empty() || line[0] == '%') return "";
+  std::istringstream in(line);
+  std::string command;
+  in >> command;
+  std::string rest;
+  std::getline(in, rest);
+  rest = Trim(rest);
+  if (command == "CATALOG") return HandleCatalog(rest);
+  if (command == "DEFINE") return HandleDefine(rest);
+  if (command == "CONTAINED?") return HandleContained(rest);
+  if (command == "BATCH") return HandleBatch(rest);
+  if (command == "CATALOGS") {
+    std::string out;
+    for (const std::string& name : service_->catalogs().Names()) {
+      auto spec = service_->catalogs().Find(name);
+      if (spec == nullptr) continue;
+      out += "catalog " + name + " v" + std::to_string(spec->version) + "\n";
+    }
+    return out.empty() ? "OK no catalogs\n" : out;
+  }
+  if (command == "METRICS") {
+    return service_->metrics().Dump(service_->cache().Stats());
+  }
+  if (command == "HELP") {
+    return "CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> "
+           "<adornment>]...\n"
+           "DEFINE <name> <rule> [<rule>]...\n"
+           "CONTAINED? <q1> <q2> @<catalog>\n"
+           "BATCH BEGIN ... BATCH END\n"
+           "CATALOGS | METRICS | HELP\n";
+  }
+  return "ERR InvalidArgument: unknown command '" + command +
+         "' — try HELP\n";
+}
+
+std::string ServerSession::HandleCatalog(const std::string& rest) {
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.empty()) {
+    return "ERR InvalidArgument: CATALOG needs a name\n";
+  }
+  const std::string& name = tokens[0];
+  std::string views_text;
+  int num_views = 0;
+  std::vector<std::pair<std::string, std::string>> patterns;
+  size_t i = 1;
+  while (i < tokens.size()) {
+    if (tokens[i] == "VIEW") {
+      size_t end = i + 1;
+      while (end < tokens.size() && tokens[end] != "VIEW" &&
+             tokens[end] != "PATTERN") {
+        ++end;
+      }
+      if (end == i + 1) {
+        return "ERR InvalidArgument: VIEW needs a rule\n";
+      }
+      views_text += JoinFrom(tokens, i + 1, end);
+      views_text += '\n';
+      ++num_views;
+      i = end;
+    } else if (tokens[i] == "PATTERN") {
+      if (i + 2 >= tokens.size()) {
+        return "ERR InvalidArgument: PATTERN needs <source> <adornment>\n";
+      }
+      patterns.emplace_back(tokens[i + 1], tokens[i + 2]);
+      i += 3;
+    } else {
+      return "ERR InvalidArgument: expected VIEW or PATTERN, got '" +
+             tokens[i] + "'\n";
+    }
+  }
+  if (num_views == 0) {
+    return "ERR InvalidArgument: a catalog needs at least one VIEW\n";
+  }
+  size_t num_patterns = patterns.size();
+  Result<int64_t> version = service_->catalogs().Register(
+      name, std::move(views_text), std::move(patterns));
+  if (!version.ok()) {
+    return "ERR " + version.status().ToString() + "\n";
+  }
+  return "OK catalog " + name + " v" + std::to_string(*version) +
+         " views=" + std::to_string(num_views) +
+         " patterns=" + std::to_string(num_patterns) + "\n";
+}
+
+std::string ServerSession::HandleDefine(const std::string& rest) {
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.size() < 2) {
+    return "ERR InvalidArgument: DEFINE needs <name> <rule>\n";
+  }
+  const std::string& name = tokens[0];
+  std::string text = JoinFrom(tokens, 1, tokens.size());
+  // Validate now so a bad DEFINE fails loudly instead of at request time.
+  Result<Program> parsed = ParseProgram(text, ctx_.interner());
+  if (!parsed.ok()) {
+    return "ERR " + parsed.status().ToString() + "\n";
+  }
+  if (parsed->rules.empty()) {
+    return "ERR InvalidArgument: DEFINE needs at least one rule\n";
+  }
+  queries_[name] = std::move(text);
+  return "OK query " + name +
+         " rules=" + std::to_string(parsed->rules.size()) + "\n";
+}
+
+std::string ServerSession::HandleContained(const std::string& rest) {
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
+    return "ERR InvalidArgument: expected CONTAINED? <q1> <q2> @<catalog>\n";
+  }
+  DecisionRequest request;
+  for (int side = 0; side < 2; ++side) {
+    auto it = queries_.find(tokens[side]);
+    if (it == queries_.end()) {
+      return "ERR InvalidArgument: unknown query '" + tokens[side] +
+             "' — DEFINE it first\n";
+    }
+    (side == 0 ? request.q1_text : request.q2_text) = it->second;
+  }
+  request.catalog = tokens[2].substr(1);
+  if (in_batch_) {
+    batch_.push_back(std::move(request));
+    return "QUEUED " + std::to_string(batch_.size() - 1) + "\n";
+  }
+  return RenderResponse(service_->Decide(request, &ctx_));
+}
+
+std::string ServerSession::HandleBatch(const std::string& rest) {
+  if (rest == "BEGIN") {
+    if (in_batch_) return "ERR InvalidArgument: already in a batch\n";
+    in_batch_ = true;
+    batch_.clear();
+    return "OK batch begin\n";
+  }
+  if (rest == "END") {
+    if (!in_batch_) return "ERR InvalidArgument: no batch in progress\n";
+    in_batch_ = false;
+    std::vector<DecisionResponse> responses =
+        service_->ExecuteBatch(batch_, batch_threads_);
+    std::string out =
+        "OK batch " + std::to_string(responses.size()) + "\n";
+    for (size_t i = 0; i < responses.size(); ++i) {
+      out += "[" + std::to_string(i) + "] " + RenderResponse(responses[i]);
+    }
+    batch_.clear();
+    return out;
+  }
+  return "ERR InvalidArgument: expected BATCH BEGIN or BATCH END\n";
+}
+
+std::string ServerSession::RenderResponse(
+    const DecisionResponse& response) const {
+  if (!response.status.ok()) {
+    return "ERR " + response.status.ToString() + "\n";
+  }
+  std::string out = response.contained ? "YES " : "NO ";
+  out += RegimeName(response.regime);
+  out += response.cache_hit ? " HIT " : " MISS ";
+  out += std::to_string(response.latency_micros);
+  out += "us";
+  if (!response.witness_text.empty()) {
+    out += " witness: ";
+    out += response.witness_text;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace relcont

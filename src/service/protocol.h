@@ -1,0 +1,54 @@
+#ifndef RELCONT_SERVICE_PROTOCOL_H_
+#define RELCONT_SERVICE_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace relcont {
+
+/// One client session of the line-delimited request/response protocol
+/// (grammar in docs/SERVICE.md). One request per line:
+///
+///   CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> <adr>]...
+///   DEFINE <name> <rule> [<rule>]...
+///   CONTAINED? <q1> <q2> @<catalog>
+///   BATCH BEGIN ... BATCH END       (CONTAINED? lines fan out in parallel)
+///   CATALOGS | METRICS | HELP
+///
+/// Responses are single lines ("OK ...", "YES ...", "NO ...", "ERR ...")
+/// except METRICS and BATCH END, which emit one line per item. The session
+/// owns a WorkerContext; the ContainmentService it fronts is shared, so
+/// many sessions (e.g. one per connection) can run concurrently.
+///
+/// Not thread-safe — one session per thread, like WorkerContext.
+class ServerSession {
+ public:
+  /// `batch_threads` is the fan-out width of BATCH END.
+  explicit ServerSession(ContainmentService* service, int batch_threads = 4);
+
+  /// Processes one request line and returns the response text, newline
+  /// terminated. Empty and '%'-comment lines yield an empty response.
+  std::string HandleLine(const std::string& line);
+
+ private:
+  std::string HandleCatalog(const std::string& rest);
+  std::string HandleDefine(const std::string& rest);
+  std::string HandleContained(const std::string& rest);
+  std::string HandleBatch(const std::string& rest);
+  std::string RenderResponse(const DecisionResponse& response) const;
+
+  ContainmentService* service_;
+  WorkerContext ctx_;
+  int batch_threads_;
+  /// Named query texts declared with DEFINE.
+  std::map<std::string, std::string> queries_;
+  bool in_batch_ = false;
+  std::vector<DecisionRequest> batch_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_SERVICE_PROTOCOL_H_

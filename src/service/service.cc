@@ -1,0 +1,181 @@
+#include "service/service.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "containment/canonical.h"
+#include "datalog/parser.h"
+
+namespace relcont {
+
+namespace {
+
+Result<GoalQuery> ParseGoalQuery(const std::string& text,
+                                 Interner* interner) {
+  RELCONT_ASSIGN_OR_RETURN(Program program, ParseProgram(text, interner));
+  if (program.rules.empty()) {
+    return Status::InvalidArgument("query text contains no rules");
+  }
+  SymbolId goal = program.rules[0].head.predicate;
+  return GoalQuery{std::move(program), goal};
+}
+
+/// Every option that can change a decision must appear in the key, or the
+/// cache would serve a decision computed under different bounds.
+std::string OptionsFingerprint(const DecideOptions& o) {
+  std::string out = std::to_string(o.max_rule_applications);
+  out += ',';
+  out += std::to_string(o.unfold.max_disjuncts);
+  out += ',';
+  out += std::to_string(o.dom.max_tree_options);
+  out += ',';
+  out += std::to_string(o.dom.max_rounds);
+  out += ',';
+  out += std::to_string(o.dom.max_core_checks);
+  out += ',';
+  out += std::to_string(o.dom.max_disjunct_size);
+  out += ',';
+  out += std::to_string(o.dom.unfold.max_disjuncts);
+  return out;
+}
+
+std::string MakeCacheKey(const GoalQuery& q1, const GoalQuery& q2,
+                         const std::string& catalog_name,
+                         int64_t catalog_version,
+                         const DecideOptions& options,
+                         const Interner& interner) {
+  std::string key = catalog_name;
+  key += ":v";
+  key += std::to_string(catalog_version);
+  key += '\x1f';
+  key += CanonicalProgramFingerprint(q1.program, q1.goal, interner);
+  key += '\x1f';
+  key += CanonicalProgramFingerprint(q2.program, q2.goal, interner);
+  key += '\x1f';
+  key += OptionsFingerprint(options);
+  return key;
+}
+
+}  // namespace
+
+WorkerContext::WorkerContext() : interner_(std::make_unique<Interner>()) {}
+
+void WorkerContext::Reset() {
+  catalogs_.clear();
+  interner_ = std::make_unique<Interner>();
+}
+
+ContainmentService::ContainmentService(ServiceConfig config)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_shards) {}
+
+Result<const MaterializedCatalog*> ContainmentService::CatalogFor(
+    const std::string& name, WorkerContext* ctx) {
+  std::shared_ptr<const CatalogSpec> spec = catalogs_.Find(name);
+  if (spec == nullptr) {
+    return Status::InvalidArgument("unknown catalog '" + name + "'");
+  }
+  auto it = ctx->catalogs_.find(name);
+  if (it != ctx->catalogs_.end() && it->second.version == spec->version) {
+    return &it->second;
+  }
+  RELCONT_ASSIGN_OR_RETURN(MaterializedCatalog materialized,
+                           MaterializeCatalog(*spec, ctx->interner()));
+  auto [pos, inserted] =
+      ctx->catalogs_.insert_or_assign(name, std::move(materialized));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<std::string> ContainmentService::CacheKey(
+    const DecisionRequest& request, WorkerContext* ctx) {
+  RELCONT_ASSIGN_OR_RETURN(const MaterializedCatalog* catalog,
+                           CatalogFor(request.catalog, ctx));
+  RELCONT_ASSIGN_OR_RETURN(GoalQuery q1,
+                           ParseGoalQuery(request.q1_text, ctx->interner()));
+  RELCONT_ASSIGN_OR_RETURN(GoalQuery q2,
+                           ParseGoalQuery(request.q2_text, ctx->interner()));
+  return MakeCacheKey(q1, q2, request.catalog, catalog->version,
+                      request.options, *ctx->interner());
+}
+
+DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
+                                            WorkerContext* ctx) {
+  auto start = std::chrono::steady_clock::now();
+  DecisionResponse out;
+  // The body below returns early through this lambda so the latency and
+  // metrics accounting runs on every path, including errors.
+  out.status = [&]() -> Status {
+    if (ctx->interner()->size() > config_.max_worker_symbols) {
+      ctx->Reset();
+    }
+    RELCONT_ASSIGN_OR_RETURN(const MaterializedCatalog* catalog,
+                             CatalogFor(request.catalog, ctx));
+    RELCONT_ASSIGN_OR_RETURN(
+        GoalQuery q1, ParseGoalQuery(request.q1_text, ctx->interner()));
+    RELCONT_ASSIGN_OR_RETURN(
+        GoalQuery q2, ParseGoalQuery(request.q2_text, ctx->interner()));
+    std::string key;
+    if (!request.bypass_cache) {
+      key = MakeCacheKey(q1, q2, request.catalog, catalog->version,
+                         request.options, *ctx->interner());
+      if (std::optional<CachedDecision> cached = cache_.Lookup(key)) {
+        out.contained = cached->contained;
+        out.regime = cached->regime;
+        out.witness_text = std::move(cached->witness_text);
+        out.cache_hit = true;
+        return Status::OK();
+      }
+    }
+    RELCONT_ASSIGN_OR_RETURN(
+        Decision decision,
+        DecideRelativeContainment(q1, q2, catalog->views, catalog->patterns,
+                                  ctx->interner(), request.options));
+    out.contained = decision.contained;
+    out.regime = decision.regime;
+    if (decision.witness.has_value()) {
+      out.witness_text = decision.witness->ToString(*ctx->interner());
+    }
+    if (!request.bypass_cache) {
+      cache_.Insert(key, CachedDecision{out.contained, out.regime,
+                                        out.witness_text});
+    }
+    return Status::OK();
+  }();
+  out.latency_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  metrics_.RecordRequest(out.regime, out.latency_micros, !out.status.ok(),
+                         out.cache_hit);
+  return out;
+}
+
+std::vector<DecisionResponse> ContainmentService::ExecuteBatch(
+    const std::vector<DecisionRequest>& requests, int num_threads) {
+  std::vector<DecisionResponse> out(requests.size());
+  if (num_threads <= 1 || requests.size() <= 1) {
+    WorkerContext ctx;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      out[i] = Decide(requests[i], &ctx);
+    }
+    return out;
+  }
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    WorkerContext ctx;
+    for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+         i < requests.size();
+         i = next.fetch_add(1, std::memory_order_relaxed)) {
+      out[i] = Decide(requests[i], &ctx);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(work);
+  for (std::thread& t : threads) t.join();
+  return out;
+}
+
+}  // namespace relcont

@@ -1,0 +1,123 @@
+#ifndef RELCONT_SERVICE_SERVICE_H_
+#define RELCONT_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relcont/decide.h"
+#include "service/catalog.h"
+#include "service/decision_cache.h"
+#include "service/metrics.h"
+
+namespace relcont {
+
+/// The containment-decision service: many clients ask `Q1 ⊑_V Q2 ?`
+/// against named catalogs of source descriptions, and the service amortizes
+/// the (Π₂ᴾ-hard) decisions with a canonical-form cache and a thread-pool
+/// batch executor.
+///
+/// Concurrency model. Decisions are pure functions of
+/// (Q1, Q2, catalog, options), but the library's decision procedures
+/// allocate fresh symbols through a non-thread-safe Interner. The service
+/// therefore confines every Interner-carrying structure to a WorkerContext
+/// owned by exactly one thread at a time; the only shared state is the
+/// catalog registry (mutex), the decision cache (sharded mutexes, values
+/// are interner-independent text), and the metrics (atomics).
+
+struct ServiceConfig {
+  /// Total decision-cache capacity in entries.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// A worker arena is discarded and rebuilt once its interner holds more
+  /// than this many symbols (decision procedures mint fresh symbols per
+  /// request, so long-lived arenas grow without bound).
+  int64_t max_worker_symbols = 1 << 20;
+};
+
+/// One containment question. The query texts use the ParseProgram syntax
+/// (multi-rule text forms a UCQ or recursive program); the goal is the
+/// head predicate of the first rule.
+struct DecisionRequest {
+  std::string q1_text;
+  std::string q2_text;
+  /// Name of a catalog previously registered with the service.
+  std::string catalog;
+  DecideOptions options;
+  /// When true the cache is neither consulted nor filled (used by the
+  /// benchmarks to measure cold decision cost, and available to clients
+  /// that need a from-scratch re-derivation).
+  bool bypass_cache = false;
+};
+
+struct DecisionResponse {
+  /// Non-OK on parse errors, unknown catalogs, or undecidable fragments;
+  /// the decision fields are meaningful only when ok.
+  Status status;
+  bool contained = false;
+  Regime regime = Regime::kUnknown;
+  /// Rendered witness ("" when none — see Decision::witness).
+  std::string witness_text;
+  bool cache_hit = false;
+  uint64_t latency_micros = 0;
+};
+
+/// Per-thread working memory: the interner arena plus the catalogs
+/// materialized against it. NOT thread-safe — each context must be used by
+/// one thread at a time (constructing one is cheap).
+class WorkerContext {
+ public:
+  WorkerContext();
+
+  Interner* interner() { return interner_.get(); }
+
+ private:
+  friend class ContainmentService;
+
+  /// Drops the arena and every structure built against it.
+  void Reset();
+
+  std::unique_ptr<Interner> interner_;
+  std::map<std::string, MaterializedCatalog> catalogs_;
+};
+
+class ContainmentService {
+ public:
+  explicit ContainmentService(ServiceConfig config = {});
+
+  CatalogRegistry& catalogs() { return catalogs_; }
+  DecisionCache& cache() { return cache_; }
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Answers one request using the caller-owned worker context. Safe to
+  /// call from many threads as long as each uses its own context.
+  DecisionResponse Decide(const DecisionRequest& request, WorkerContext* ctx);
+
+  /// Fans `requests` across `num_threads` workers (each with a fresh
+  /// WorkerContext) and returns responses positionally aligned with the
+  /// requests. `num_threads <= 1` runs inline on the calling thread.
+  std::vector<DecisionResponse> ExecuteBatch(
+      const std::vector<DecisionRequest>& requests, int num_threads);
+
+  /// The cache key for `request` as seen from `ctx`: canonical query
+  /// fingerprints + catalog identity + options. Exposed for tests.
+  Result<std::string> CacheKey(const DecisionRequest& request,
+                               WorkerContext* ctx);
+
+ private:
+  /// Materializes `request.catalog` into `ctx` (cached by version).
+  Result<const MaterializedCatalog*> CatalogFor(const std::string& name,
+                                                WorkerContext* ctx);
+
+  ServiceConfig config_;
+  CatalogRegistry catalogs_;
+  DecisionCache cache_;
+  ServiceMetrics metrics_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_SERVICE_SERVICE_H_

@@ -34,7 +34,7 @@ TEST_F(DecideTest, DispatchesToSection3) {
   Decision d = Decide(GQ("a(X) :- p(X, X).", "a"),
                       GQ("b(X) :- p(X, Y).", "b"), views);
   EXPECT_TRUE(d.contained);
-  EXPECT_STREQ(d.regime, "section3");
+  EXPECT_EQ(d.regime, Regime::kSection3);
 }
 
 TEST_F(DecideTest, DispatchesToTheorem52OnComparisonViews) {
@@ -42,7 +42,7 @@ TEST_F(DecideTest, DispatchesToTheorem52OnComparisonViews) {
   Decision d = Decide(GQ("a(X) :- item(X, P).", "a"),
                       GQ("b(X) :- item(X, P), P < 10.", "b"), views);
   EXPECT_TRUE(d.contained);
-  EXPECT_STREQ(d.regime, "theorem52");
+  EXPECT_EQ(d.regime, Regime::kTheorem52);
 }
 
 TEST_F(DecideTest, DispatchesToTheorem51WhenLeftHasComparisons) {
@@ -50,7 +50,7 @@ TEST_F(DecideTest, DispatchesToTheorem51WhenLeftHasComparisons) {
   Decision d = Decide(GQ("a(X) :- item(X, P), P < 5.", "a"),
                       GQ("b(X) :- item(X, P).", "b"), views);
   EXPECT_TRUE(d.contained);
-  EXPECT_STREQ(d.regime, "theorem51");
+  EXPECT_EQ(d.regime, Regime::kTheorem51);
 }
 
 TEST_F(DecideTest, DispatchesToTheorem32OnRecursiveQuery) {
@@ -62,7 +62,7 @@ TEST_F(DecideTest, DispatchesToTheorem32OnRecursiveQuery) {
   Decision d =
       Decide(GQ("a(X, Y) :- e(X, Z), e(Z, Y).", "a"), tc, views);
   EXPECT_TRUE(d.contained);
-  EXPECT_STREQ(d.regime, "theorem32");
+  EXPECT_EQ(d.regime, Regime::kTheorem32);
 }
 
 TEST_F(DecideTest, DispatchesToSection4OnPatterns) {
@@ -74,7 +74,7 @@ TEST_F(DecideTest, DispatchesToSection4OnPatterns) {
   Decision d = Decide(GQ("q1(Y) :- link(X, Y).", "q1"),
                       GQ("q2(Y) :- link(a, Y).", "q2"), views, patterns);
   EXPECT_FALSE(d.contained);
-  EXPECT_STREQ(d.regime, "section4");
+  EXPECT_EQ(d.regime, Regime::kSection4);
   EXPECT_TRUE(d.witness.has_value());
 }
 
@@ -88,6 +88,65 @@ TEST_F(DecideTest, PatternsPlusComparisonsUnsupported) {
   EXPECT_EQ(d.status().code(), StatusCode::kUnsupported);
 }
 
+TEST_F(DecideTest, WitnessSurfacesOnTheorem52Failure) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  Decision d = Decide(GQ("a(X) :- item(X, P).", "a"),
+                      GQ("b(X) :- item(X, P), P < 5.", "b"), views);
+  EXPECT_FALSE(d.contained);
+  EXPECT_EQ(d.regime, Regime::kTheorem52);
+  EXPECT_TRUE(d.witness.has_value());
+}
+
+TEST_F(DecideTest, WitnessSurfacesOnTheorem32Failure) {
+  // Recursive Q2: the failing plan disjunct of Q1 is the witness.
+  ViewSet views = V(
+      "sedge(X, Y) :- e(X, Y).\n"
+      "snode(X) :- n(X).\n");
+  GoalQuery tc = GQ(
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+      "tc");
+  Decision d = Decide(GQ("a(X, X) :- n(X).", "a"), tc, views);
+  EXPECT_FALSE(d.contained);
+  EXPECT_EQ(d.regime, Regime::kTheorem32);
+  EXPECT_TRUE(d.witness.has_value());
+}
+
+TEST_F(DecideTest, WitnessSurfacesOnRecursiveQ1Failure) {
+  // Recursive Q1: the counterexample expansion is the witness.
+  ViewSet views = V("sedge(X, Y) :- e(X, Y).");
+  GoalQuery tc = GQ(
+      "tc(X, Y) :- e(X, Y).\n"
+      "tc(X, Y) :- e(X, Z), tc(Z, Y).\n",
+      "tc");
+  Decision d = Decide(tc, GQ("b(X, Y) :- e(X, Y).", "b"), views);
+  EXPECT_FALSE(d.contained);
+  EXPECT_EQ(d.regime, Regime::kTheorem32);
+  EXPECT_TRUE(d.witness.has_value());
+}
+
+TEST_F(DecideTest, Theorem51WitnessCarriesViewGuaranteedComparisons) {
+  ViewSet views = V("cheap(X, P) :- item(X, P), P < 10.");
+  Decision d = Decide(GQ("a(X) :- item(X, P), P < 5.", "a"),
+                      GQ("b(X) :- item(X, P), P < 2.", "b"), views);
+  EXPECT_FALSE(d.contained);
+  EXPECT_EQ(d.regime, Regime::kTheorem51);
+  ASSERT_TRUE(d.witness.has_value());
+  // The witness is the *augmented* disjunct: it keeps the comparisons its
+  // views guarantee, so it genuinely fails on a consistent instance.
+  EXPECT_FALSE(d.witness->comparisons.empty());
+}
+
+TEST_F(DecideTest, RegimeNamesRoundTrip) {
+  for (Regime regime :
+       {Regime::kSection3, Regime::kTheorem32, Regime::kSection4,
+        Regime::kTheorem51, Regime::kTheorem52}) {
+    EXPECT_EQ(ParseRegime(RegimeName(regime)), regime);
+  }
+  EXPECT_EQ(ParseRegime("nonsense"), Regime::kUnknown);
+  EXPECT_EQ(RegimeName(Regime::kUnknown), "unknown");
+}
+
 TEST_F(DecideTest, WitnessSurfacesOnSection3Failure) {
   ViewSet views = V(
       "v1(X, Y) :- p(X, Y).\n"
@@ -95,7 +154,7 @@ TEST_F(DecideTest, WitnessSurfacesOnSection3Failure) {
   Decision d = Decide(GQ("a(X) :- p(X, Y).", "a"),
                       GQ("b(X) :- p(X, Y), s(X).", "b"), views);
   EXPECT_FALSE(d.contained);
-  EXPECT_STREQ(d.regime, "section3");
+  EXPECT_EQ(d.regime, Regime::kSection3);
   EXPECT_TRUE(d.witness.has_value());
 }
 

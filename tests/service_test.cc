@@ -1,0 +1,478 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "containment/canonical.h"
+#include "datalog/parser.h"
+#include "relcont/workload.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace relcont {
+namespace {
+
+// --- canonical fingerprints -------------------------------------------------
+
+TEST(CanonicalFingerprintTest, InvariantUnderVariableRenaming) {
+  Interner a;
+  Interner b;
+  Rule r1 = *ParseRule("q(X) :- p(X, Y), p(Y, X).", &a);
+  Rule r2 = *ParseRule("q(U) :- p(U, W), p(W, U).", &b);
+  // Computed against different interners: spellings decide, not SymbolIds.
+  EXPECT_EQ(CanonicalRuleFingerprint(r1, a), CanonicalRuleFingerprint(r2, b));
+}
+
+TEST(CanonicalFingerprintTest, DistinguishesDifferentJoinShapes) {
+  Interner interner;
+  Rule r1 = *ParseRule("q(X) :- p(X, Y), p(Y, X).", &interner);
+  Rule r2 = *ParseRule("q(X) :- p(X, Y), p(X, Y).", &interner);
+  EXPECT_NE(CanonicalRuleFingerprint(r1, interner),
+            CanonicalRuleFingerprint(r2, interner));
+}
+
+TEST(CanonicalFingerprintTest, ConstantsAndComparisonsAppear) {
+  Interner interner;
+  Rule r1 = *ParseRule("q(X) :- p(X, 3), X < 7.", &interner);
+  Rule r2 = *ParseRule("q(X) :- p(X, 4), X < 7.", &interner);
+  Rule r3 = *ParseRule("q(X) :- p(X, 3), X < 8.", &interner);
+  EXPECT_NE(CanonicalRuleFingerprint(r1, interner),
+            CanonicalRuleFingerprint(r2, interner));
+  EXPECT_NE(CanonicalRuleFingerprint(r1, interner),
+            CanonicalRuleFingerprint(r3, interner));
+}
+
+TEST(CanonicalFingerprintTest, ProgramFingerprintIgnoresRuleOrder) {
+  Interner interner;
+  Program p1 = *ParseProgram(
+      "q(X) :- r(X, Y).\n"
+      "q(X) :- s(X).\n",
+      &interner);
+  Program p2 = *ParseProgram(
+      "q(X) :- s(X).\n"
+      "q(X) :- r(X, Y).\n",
+      &interner);
+  SymbolId goal = interner.Lookup("q");
+  EXPECT_EQ(CanonicalProgramFingerprint(p1, goal, interner),
+            CanonicalProgramFingerprint(p2, goal, interner));
+}
+
+// --- catalog registry -------------------------------------------------------
+
+TEST(CatalogRegistryTest, RegisterFindAndVersionBump) {
+  CatalogRegistry registry;
+  Result<int64_t> v1 = registry.Register("cars", "v(X) :- p(X, Y).\n");
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(*v1, 1);
+  auto spec = registry.Find("cars");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->version, 1);
+
+  Result<int64_t> v2 =
+      registry.Register("cars", "v(X) :- p(X, Y), s(Y).\n");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2);
+  // The old snapshot a reader holds is untouched by the re-registration.
+  EXPECT_EQ(spec->version, 1);
+  EXPECT_EQ(registry.Find("cars")->version, 2);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+}
+
+TEST(CatalogRegistryTest, RejectsInvalidSpecs) {
+  CatalogRegistry registry;
+  EXPECT_FALSE(registry.Register("bad", "v(X) :- p(X Y).\n").ok());
+  // Pattern naming a source that is not declared.
+  EXPECT_FALSE(
+      registry.Register("bad", "v(X) :- p(X, Y).\n", {{"w", "b"}}).ok());
+  // Adornment arity mismatch.
+  EXPECT_FALSE(
+      registry.Register("bad", "v(X) :- p(X, Y).\n", {{"v", "bf"}}).ok());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(CatalogRegistryTest, MaterializesPatterns) {
+  CatalogRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("c", "v(X, Y) :- p(X, Y).\n", {{"v", "bf"}})
+                  .ok());
+  Interner interner;
+  Result<MaterializedCatalog> m =
+      MaterializeCatalog(*registry.Find("c"), &interner);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->views.size(), 1u);
+  const std::vector<Adornment>* adornments =
+      m->patterns.Find(interner.Lookup("v"));
+  ASSERT_NE(adornments, nullptr);
+  EXPECT_EQ((*adornments)[0].ToString(), "bf");
+}
+
+// --- decision cache ---------------------------------------------------------
+
+CachedDecision Cached(bool contained) {
+  CachedDecision d;
+  d.contained = contained;
+  d.regime = Regime::kSection3;
+  return d;
+}
+
+TEST(DecisionCacheTest, LookupInsertAndStats) {
+  DecisionCache cache(8, 2);
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  cache.Insert("k1", Cached(true));
+  auto hit = cache.Lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->contained);
+  EXPECT_EQ(hit->regime, Regime::kSection3);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(DecisionCacheTest, LruEvictionOrder) {
+  // One shard so recency order is global and deterministic.
+  DecisionCache cache(3, 1);
+  cache.Insert("a", Cached(true));
+  cache.Insert("b", Cached(true));
+  cache.Insert("c", Cached(true));
+  // Refresh "a": now "b" is the least recently used entry.
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  cache.Insert("d", Cached(false));
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_TRUE(cache.Lookup("d").has_value());
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(DecisionCacheTest, ClearDropsEntriesKeepsCounters) {
+  DecisionCache cache(4, 1);
+  cache.Insert("a", Cached(true));
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --- service ----------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(service_.catalogs()
+                    .Register("main",
+                              "v1(X, Y) :- p(X, Y).\n"
+                              "v2(X) :- s(X).\n")
+                    .ok());
+  }
+
+  DecisionRequest Req(const std::string& q1, const std::string& q2) {
+    DecisionRequest request;
+    request.q1_text = q1;
+    request.q2_text = q2;
+    request.catalog = "main";
+    return request;
+  }
+
+  ContainmentService service_;
+  WorkerContext ctx_;
+};
+
+TEST_F(ServiceTest, DecidesAndCaches) {
+  DecisionRequest request =
+      Req("a(X) :- p(X, X).", "b(X) :- p(X, Y).");
+  DecisionResponse first = service_.Decide(request, &ctx_);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_TRUE(first.contained);
+  EXPECT_EQ(first.regime, Regime::kSection3);
+  EXPECT_FALSE(first.cache_hit);
+
+  DecisionResponse second = service_.Decide(request, &ctx_);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.contained, first.contained);
+  EXPECT_EQ(second.regime, first.regime);
+  EXPECT_EQ(second.witness_text, first.witness_text);
+}
+
+TEST_F(ServiceTest, RenamedQueryHitsSameEntry) {
+  DecisionResponse first = service_.Decide(
+      Req("a(X) :- p(X, Y), s(Y).", "b(X) :- p(X, Y)."), &ctx_);
+  ASSERT_TRUE(first.status.ok());
+  // Same queries up to variable renaming: must be a cache hit.
+  DecisionResponse second = service_.Decide(
+      Req("a(U) :- p(U, V), s(V).", "b(W) :- p(W, Z)."), &ctx_);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.contained, first.contained);
+}
+
+TEST_F(ServiceTest, NonContainmentCachesWitnessText) {
+  DecisionRequest request =
+      Req("a(X) :- p(X, Y).", "b(X) :- p(X, Y), s(X).");
+  DecisionResponse first = service_.Decide(request, &ctx_);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.contained);
+  EXPECT_FALSE(first.witness_text.empty());
+  DecisionResponse second = service_.Decide(request, &ctx_);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.witness_text, first.witness_text);
+}
+
+TEST_F(ServiceTest, ErrorsSurfaceAndCount) {
+  DecisionRequest request = Req("a(X) :- p(X, Y).", "b(X) :- p(X, Y).");
+  request.catalog = "nope";
+  DecisionResponse response = service_.Decide(request, &ctx_);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(service_.metrics().errors(), 1u);
+
+  DecisionRequest bad = Req("a(X :- p(X, Y).", "b(X) :- p(X, Y).");
+  EXPECT_FALSE(service_.Decide(bad, &ctx_).status.ok());
+  EXPECT_EQ(service_.metrics().errors(), 2u);
+}
+
+TEST_F(ServiceTest, CatalogVersionBumpInvalidatesCachedDecisions) {
+  DecisionRequest request =
+      Req("a(X) :- p(X, Y).", "b(X) :- p(X, Y), s(X).");
+  DecisionResponse before = service_.Decide(request, &ctx_);
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_FALSE(before.contained);
+  // With s gone from the catalog, Q2's plan collapses and the answer
+  // changes; the version bump must route around the cached decision.
+  ASSERT_TRUE(
+      service_.catalogs().Register("main", "v1(X, Y) :- p(X, Y).\n").ok());
+  DecisionResponse after = service_.Decide(request, &ctx_);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+}
+
+TEST_F(ServiceTest, WorkerArenaResetKeepsServing) {
+  ServiceConfig config;
+  config.max_worker_symbols = 64;  // force frequent arena resets
+  ContainmentService service(config);
+  ASSERT_TRUE(service.catalogs().Register("main", "v(X, Y) :- p(X, Y).\n").ok());
+  WorkerContext ctx;
+  for (int i = 0; i < 32; ++i) {
+    DecisionRequest request;
+    request.q1_text = "a(X) :- p(X, X).";
+    request.q2_text = "b(X) :- p(X, Y).";
+    request.catalog = "main";
+    DecisionResponse response = service.Decide(request, &ctx);
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TRUE(response.contained);
+  }
+  EXPECT_EQ(service.metrics().requests(), 32u);
+}
+
+TEST_F(ServiceTest, CacheKeyIsRenamingInvariantAndOptionSensitive) {
+  DecisionRequest base = Req("a(X) :- p(X, Y).", "b(X) :- p(X, Y).");
+  DecisionRequest renamed = Req("a(U) :- p(U, V).", "b(V) :- p(V, W).");
+  DecisionRequest different = Req("a(X) :- p(X, X).", "b(X) :- p(X, Y).");
+  DecisionRequest rebounded = base;
+  rebounded.options.max_rule_applications = 99;
+
+  Result<std::string> k_base = service_.CacheKey(base, &ctx_);
+  Result<std::string> k_renamed = service_.CacheKey(renamed, &ctx_);
+  Result<std::string> k_different = service_.CacheKey(different, &ctx_);
+  Result<std::string> k_rebounded = service_.CacheKey(rebounded, &ctx_);
+  ASSERT_TRUE(k_base.ok() && k_renamed.ok() && k_different.ok() &&
+              k_rebounded.ok());
+  EXPECT_EQ(*k_base, *k_renamed);
+  EXPECT_NE(*k_base, *k_different);
+  EXPECT_NE(*k_base, *k_rebounded);
+}
+
+// --- randomized cache determinism -------------------------------------------
+
+// Renders a reproducible randomized workload as request texts: the service
+// parses everything into its own worker arenas, so the generator's interner
+// never crosses the API boundary.
+std::vector<DecisionRequest> RandomWorkload(int distinct_pairs,
+                                            std::string* views_text) {
+  Interner gen;
+  RandomQueryOptions options;
+  options.num_atoms = 3;
+  options.num_variables = 4;
+  options.num_predicates = 2;
+  options.arity = 2;
+  options.head_arity = 1;
+  ViewSet views = RandomViews(options, 4, &gen);
+  views_text->clear();
+  for (const ViewDefinition& v : views.views()) {
+    *views_text += v.rule.ToString(gen);
+    *views_text += '\n';
+  }
+  std::vector<DecisionRequest> requests;
+  for (int i = 0; i < distinct_pairs; ++i) {
+    options.seed = 1000 + i;
+    Rule qa = RandomConjunctiveQuery(options, "qa", &gen);
+    options.seed = 2000 + i;
+    Rule qb = RandomConjunctiveQuery(options, "qb", &gen);
+    DecisionRequest request;
+    request.q1_text = qa.ToString(gen);
+    request.q2_text = qb.ToString(gen);
+    request.catalog = "rand";
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+TEST(ServiceRandomizedTest, CachedDecisionEqualsFreshDecision) {
+  std::string views_text;
+  std::vector<DecisionRequest> requests = RandomWorkload(20, &views_text);
+  ContainmentService service;
+  ASSERT_TRUE(service.catalogs().Register("rand", views_text).ok());
+  WorkerContext ctx;
+  for (const DecisionRequest& request : requests) {
+    DecisionResponse fresh = service.Decide(request, &ctx);
+    ASSERT_TRUE(fresh.status.ok()) << fresh.status.ToString();
+    EXPECT_FALSE(fresh.cache_hit);
+    DecisionResponse cached = service.Decide(request, &ctx);
+    ASSERT_TRUE(cached.status.ok());
+    EXPECT_TRUE(cached.cache_hit);
+    EXPECT_EQ(cached.contained, fresh.contained);
+    EXPECT_EQ(cached.regime, fresh.regime);
+    EXPECT_EQ(cached.witness_text, fresh.witness_text);
+    // And a forced re-derivation agrees with both.
+    DecisionRequest bypass = request;
+    bypass.bypass_cache = true;
+    DecisionResponse rederived = service.Decide(bypass, &ctx);
+    ASSERT_TRUE(rederived.status.ok());
+    EXPECT_EQ(rederived.contained, fresh.contained);
+    EXPECT_EQ(rederived.regime, fresh.regime);
+  }
+}
+
+// --- multithreaded stress ----------------------------------------------------
+
+TEST(ServiceStressTest, EightThreadBatchMatchesSerialBaseline) {
+  std::string views_text;
+  std::vector<DecisionRequest> distinct = RandomWorkload(12, &views_text);
+  // ≥1k mixed requests cycling through the distinct pairs.
+  std::vector<DecisionRequest> requests;
+  for (int i = 0; i < 1200; ++i) {
+    requests.push_back(distinct[i % distinct.size()]);
+  }
+
+  ContainmentService serial;
+  ASSERT_TRUE(serial.catalogs().Register("rand", views_text).ok());
+  std::vector<DecisionResponse> baseline = serial.ExecuteBatch(requests, 1);
+
+  ContainmentService parallel;
+  ASSERT_TRUE(parallel.catalogs().Register("rand", views_text).ok());
+  std::vector<DecisionResponse> concurrent =
+      parallel.ExecuteBatch(requests, 8);
+
+  ASSERT_EQ(baseline.size(), requests.size());
+  ASSERT_EQ(concurrent.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(baseline[i].status.ok()) << baseline[i].status.ToString();
+    ASSERT_TRUE(concurrent[i].status.ok())
+        << concurrent[i].status.ToString();
+    EXPECT_EQ(concurrent[i].contained, baseline[i].contained) << "at " << i;
+    EXPECT_EQ(concurrent[i].regime, baseline[i].regime) << "at " << i;
+  }
+  EXPECT_EQ(parallel.metrics().requests(), requests.size());
+  CacheStats stats = parallel.cache().Stats();
+  EXPECT_EQ(stats.hits + stats.misses, requests.size());
+  // Each distinct pair is decided at most a handful of times (a pair can
+  // race to a miss on several workers at once, but never once per repeat).
+  EXPECT_GE(stats.hits, requests.size() - 8 * distinct.size());
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(ProtocolTest, EndToEndSession) {
+  ContainmentService service;
+  ServerSession session(&service);
+  EXPECT_EQ(session.HandleLine(""), "");
+  EXPECT_EQ(session.HandleLine("% comment"), "");
+  EXPECT_EQ(session.HandleLine("CATALOG c VIEW v(X, Y) :- p(X, Y)."),
+            "OK catalog c v1 views=1 patterns=0\n");
+  EXPECT_EQ(session.HandleLine("DEFINE a a(X) :- p(X, X)."),
+            "OK query a rules=1\n");
+  EXPECT_EQ(session.HandleLine("DEFINE b b(X) :- p(X, Y)."),
+            "OK query b rules=1\n");
+  std::string yes = session.HandleLine("CONTAINED? a b @c");
+  EXPECT_EQ(yes.rfind("YES section3 MISS", 0), 0u) << yes;
+  std::string hit = session.HandleLine("CONTAINED? a b @c");
+  EXPECT_EQ(hit.rfind("YES section3 HIT", 0), 0u) << hit;
+  std::string no = session.HandleLine("CONTAINED? b a @c");
+  EXPECT_EQ(no.rfind("NO section3", 0), 0u) << no;
+  EXPECT_NE(no.find("witness:"), std::string::npos) << no;
+
+  std::string metrics = session.HandleLine("METRICS");
+  EXPECT_NE(metrics.find("requests_total 3"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("cache_hits 1"), std::string::npos) << metrics;
+}
+
+TEST(ProtocolTest, BatchFanOut) {
+  ContainmentService service;
+  ServerSession session(&service, /*batch_threads=*/4);
+  session.HandleLine("CATALOG c VIEW v(X, Y) :- p(X, Y).");
+  session.HandleLine("DEFINE a a(X) :- p(X, X).");
+  session.HandleLine("DEFINE b b(X) :- p(X, Y).");
+  EXPECT_EQ(session.HandleLine("BATCH BEGIN"), "OK batch begin\n");
+  EXPECT_EQ(session.HandleLine("CONTAINED? a b @c"), "QUEUED 0\n");
+  EXPECT_EQ(session.HandleLine("CONTAINED? b a @c"), "QUEUED 1\n");
+  std::string out = session.HandleLine("BATCH END");
+  EXPECT_EQ(out.rfind("OK batch 2\n", 0), 0u) << out;
+  EXPECT_NE(out.find("[0] YES section3"), std::string::npos) << out;
+  EXPECT_NE(out.find("[1] NO section3"), std::string::npos) << out;
+}
+
+TEST(ProtocolTest, ErrorsAreLineDelimited) {
+  ContainmentService service;
+  ServerSession session(&service);
+  EXPECT_EQ(session.HandleLine("FROBNICATE").rfind("ERR", 0), 0u);
+  EXPECT_EQ(session.HandleLine("CATALOG").rfind("ERR", 0), 0u);
+  EXPECT_EQ(session.HandleLine("CATALOG c PATTERN v bf").rfind("ERR", 0),
+            0u);
+  session.HandleLine("CATALOG c VIEW v(X, Y) :- p(X, Y).");
+  EXPECT_EQ(session.HandleLine("CONTAINED? a b @c").rfind("ERR", 0), 0u);
+  session.HandleLine("DEFINE a a(X) :- p(X, X).");
+  session.HandleLine("DEFINE b b(X) :- p(X, Y).");
+  std::string unknown_catalog = session.HandleLine("CONTAINED? a b @zzz");
+  EXPECT_EQ(unknown_catalog.rfind("ERR", 0), 0u);
+  EXPECT_NE(unknown_catalog.find("unknown catalog"), std::string::npos);
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketsAndDump) {
+  ServiceMetrics metrics;
+  metrics.RecordRequest(Regime::kSection3, 0, false, false);
+  metrics.RecordRequest(Regime::kSection3, 1, false, true);
+  metrics.RecordRequest(Regime::kTheorem51, 100, false, false);
+  metrics.RecordRequest(Regime::kUnknown, 5, true, false);
+  EXPECT_EQ(metrics.requests(), 4u);
+  EXPECT_EQ(metrics.errors(), 1u);
+  EXPECT_EQ(metrics.cache_hits(), 1u);
+  EXPECT_EQ(metrics.RegimeCount(Regime::kSection3), 2u);
+  EXPECT_EQ(metrics.RegimeCount(Regime::kTheorem51), 1u);
+  EXPECT_EQ(metrics.latency().TotalCount(), 4u);
+  // 100µs lands in [64, 128).
+  auto [lower, upper] = LatencyHistogram::BucketBounds(7);
+  EXPECT_EQ(lower, 64u);
+  EXPECT_EQ(upper, 128u);
+  EXPECT_EQ(metrics.latency().BucketCount(7), 1u);
+
+  CacheStats cache;
+  cache.hits = 1;
+  cache.misses = 3;
+  std::string dump = metrics.Dump(cache);
+  EXPECT_NE(dump.find("requests_total 4"), std::string::npos);
+  EXPECT_NE(dump.find("decisions_by_regime{section3} 2"),
+            std::string::npos);
+  EXPECT_NE(dump.find("cache_misses 3"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relcont
