@@ -19,6 +19,8 @@
 //   --batch        suppress the prompt (for piped input)
 //   --threads N    fan-out width for BATCH BEGIN/END groups (default 4)
 //   --cache N      decision-cache capacity in entries (default 4096)
+//   --trace        trace every request into the METRICS aggregates
+//   --slow-log N   keep the N worst traced requests for METRICS (default 4)
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,9 +41,14 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
       config.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      config.trace_requests = true;
+    } else if (std::strcmp(argv[i], "--slow-log") == 0 && i + 1 < argc) {
+      config.slow_log_capacity = static_cast<size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr,
-                   "usage: relcont_serve [--batch] [--threads N] [--cache N]\n");
+                   "usage: relcont_serve [--batch] [--threads N] [--cache N] "
+                   "[--trace] [--slow-log N]\n");
       return 2;
     }
   }

@@ -24,11 +24,13 @@
 //   lossless <query>       are the sources lossless for the query?
 //   minimize <query>       show the query's core
 //   show                   print the declared system
+//   :explain on|off        print the decision trace after each 'contained'
 //   help, quit
 
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -42,6 +44,7 @@
 #include "relcont/relative_containment.h"
 #include "rewriting/comparison_plans.h"
 #include "rewriting/losslessness.h"
+#include "trace/trace.h"
 
 using namespace relcont;
 
@@ -100,6 +103,8 @@ class Shell {
       Minimize(rest);
     } else if (command == "show") {
       Show();
+    } else if (command == ":explain") {
+      ToggleExplain(rest);
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }
@@ -121,7 +126,9 @@ class Shell {
         "  explain <query>       certain answers with source provenance\n"
         "  lossless <query>      are the sources lossless for the query?\n"
         "  minimize <query>      show the query's core\n"
-        "  show                  print the declared system\n");
+        "  show                  print the declared system\n"
+        "  :explain on|off       print the decision trace after each "
+        "'contained'\n");
   }
 
   void AddView(const std::string& text) {
@@ -208,6 +215,26 @@ class Shell {
     }
   }
 
+  void ToggleExplain(const std::string& text) {
+    std::istringstream in(text);
+    std::string mode;
+    in >> mode;
+    if (mode == "on") {
+      explain_ = true;
+      if (!trace::kCompiledIn) {
+        std::printf(
+            "note: trace hooks are compiled out (RELCONT_TRACE=0); traces "
+            "will be empty\n");
+      }
+    } else if (mode == "off") {
+      explain_ = false;
+    } else {
+      std::printf("usage: :explain on|off\n");
+      return;
+    }
+    std::printf("explain %s\n", explain_ ? "on" : "off");
+  }
+
   void Contained(const std::string& text) {
     std::istringstream in(text);
     std::string n1, n2;
@@ -215,8 +242,12 @@ class Shell {
     const GoalQuery* q1 = FindQuery(n1);
     const GoalQuery* q2 = FindQuery(n2);
     if (q1 == nullptr || q2 == nullptr) return;
+    trace::TraceContext trace_ctx;
+    std::optional<trace::TraceScope> scope;
+    if (explain_) scope.emplace(&trace_ctx);
     Result<Decision> d =
         DecideRelativeContainment(*q1, *q2, views_, patterns_, &interner_);
+    scope.reset();
     if (!d.ok()) {
       std::printf("error: %s\n", d.status().ToString().c_str());
       return;
@@ -228,6 +259,7 @@ class Shell {
     if (!d->contained && d->witness.has_value()) {
       std::printf("  witness: %s\n", d->witness->ToString(interner_).c_str());
     }
+    if (explain_) std::printf("%s", trace_ctx.ToText().c_str());
   }
 
   void Classical(const std::string& text) {
@@ -371,6 +403,7 @@ class Shell {
   }
 
   bool interactive_;
+  bool explain_ = false;
   Interner interner_;
   ViewSet views_;
   BindingPatterns patterns_;

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "datalog/substitution.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -513,6 +514,7 @@ class DomDecider {
   // Computes the saturated set of variable-output tree types, then the
   // constant-output types the cores need.
   Status Saturate() {
+    RELCONT_TRACE_SPAN("dom_saturate");
     auto key_of = [](const TreeOption& o) {
       std::string key = std::to_string(o.output_const) + "|";
       for (const ProfileEntry& e : o.entries) {
@@ -532,6 +534,7 @@ class DomDecider {
       if (++rounds > options_.max_rounds) {
         return Status::BoundReached("tree saturation round cap hit");
       }
+      RELCONT_TRACE_COUNT(kDomSaturationRounds, 1);
       changed = false;
       for (size_t r = 0; r < node_rules_.size(); ++r) {
         std::vector<std::vector<ChildRef>> combos;
@@ -619,6 +622,7 @@ class DomDecider {
   // ---- the ∀∃ check over cores -------------------------------------------
 
   Result<DomContainmentResult> CheckCores() {
+    RELCONT_TRACE_SPAN("dom_check_cores");
     DomContainmentResult result;
     result.tree_options = static_cast<int>(tree_options_.size());
     for (const Core& core : cores_) {
@@ -976,7 +980,16 @@ Result<DomContainmentResult> DomPlanContainedInUcq(
     const Program& program, SymbolId goal, SymbolId dom_pred,
     const UnionQuery& q2, Interner* interner,
     const DomContainmentOptions& options) {
-  return DomDecider(program, goal, dom_pred, q2, interner, options).Run();
+  RELCONT_TRACE_SPAN("dom_containment");
+  Result<DomContainmentResult> result =
+      DomDecider(program, goal, dom_pred, q2, interner, options).Run();
+  if (result.ok()) {
+    RELCONT_TRACE_COUNT(kDomTreeOptions,
+                        static_cast<uint64_t>(result->tree_options));
+    RELCONT_TRACE_COUNT(kDomCoresChecked,
+                        static_cast<uint64_t>(result->cores_checked));
+  }
+  return result;
 }
 
 }  // namespace relcont

@@ -5,6 +5,7 @@
 
 #include "datalog/substitution.h"
 #include "rewriting/inverse_rules.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -12,6 +13,7 @@ Result<ExecutablePlanResult> ExecutablePlan(const Program& query,
                                             const ViewSet& views,
                                             const BindingPatterns& patterns,
                                             Interner* interner) {
+  RELCONT_TRACE_SPAN("plan_executable");
   RELCONT_RETURN_NOT_OK(query.CheckSafe());
   RELCONT_RETURN_NOT_OK(views.Validate());
   for (const Rule& r : query.rules) {

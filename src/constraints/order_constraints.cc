@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "trace/trace.h"
+
 namespace relcont {
 
 namespace {
@@ -100,6 +102,7 @@ Status OrderConstraints::AddAll(const std::vector<Comparison>& cs) {
 
 void OrderConstraints::Close() const {
   if (closed_) return;
+  RELCONT_TRACE_COUNT(kClosureRecomputes, 1);
   int n = static_cast<int>(points_.size());
   closure_.assign(static_cast<size_t>(n) * n, Rel::kNone);
   distinct_mat_.assign(static_cast<size_t>(n) * n, 0);

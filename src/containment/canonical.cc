@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "eval/evaluator.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -14,11 +15,14 @@ Result<FrozenQuery> FreezeRule(const Rule& q, Interner* interner) {
   }
   RELCONT_RETURN_NOT_OK(q.CheckSafe());
   FrozenQuery out;
+  RELCONT_TRACE_COUNT(kFrozenQueries, 1);
   for (SymbolId v : q.Variables()) {
     out.freezing.Bind(v, Term::Symbol(interner->Fresh("_k")));
+    RELCONT_TRACE_COUNT(kFrozenConstants, 1);
   }
   for (const Atom& a : q.body) {
     out.database.Add(out.freezing.Apply(a));
+    RELCONT_TRACE_COUNT(kFrozenAtoms, 1);
   }
   out.head_tuple = out.freezing.Apply(q.head).args;
   return out;
@@ -27,7 +31,9 @@ Result<FrozenQuery> FreezeRule(const Rule& q, Interner* interner) {
 Result<bool> UnionContainedInDatalog(const UnionQuery& q1, const Program& p,
                                      SymbolId goal, Interner* interner,
                                      Rule* witness) {
+  RELCONT_TRACE_SPAN("canonical_eval");
   for (const Rule& d : q1.disjuncts) {
+    RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
     RELCONT_ASSIGN_OR_RETURN(FrozenQuery frozen, FreezeRule(d, interner));
     RELCONT_ASSIGN_OR_RETURN(EvalResult eval,
                              Evaluate(p, frozen.database));

@@ -4,6 +4,7 @@
 
 #include "constraints/order_constraints.h"
 #include "containment/homomorphism.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -167,8 +168,10 @@ Result<bool> CqContainedViaEntailment(const Rule& q1_in, const Rule& q2_in) {
   }
   RELCONT_ASSIGN_OR_RETURN(OrderConstraints c1, BuildConstraints(q1, &q2));
   if (!c1.IsSatisfiable()) return true;
+  RELCONT_TRACE_SPAN("comparison_entailment");
   bool found = ForEachContainmentMapping(q2, q1, [&](const Substitution& h) {
     for (const Comparison& c : q2.comparisons) {
+      RELCONT_TRACE_COUNT(kEntailmentChecks, 1);
       if (!c1.Entails(h.ApplyOnce(c))) return false;
     }
     return true;
@@ -204,7 +207,9 @@ Result<bool> ContainedInUnionLinearized(const Rule& q1,
         "); the semi-interval fast path did not apply");
   }
 
+  RELCONT_TRACE_SPAN("comparison_linearizations");
   for (const Linearization& lin : c1.EnumerateLinearizations()) {
+    RELCONT_TRACE_COUNT(kLinearizations, 1);
     std::map<Term, Rational> sigma = c1.Realize(lin);
     // Collapse q1 by the linearization: variables in a class with a
     // constant become that constant; variables sharing a class collapse to
@@ -226,6 +231,7 @@ Result<bool> ContainedInUnionLinearized(const Rule& q1,
     bool covered = false;
     for (const Rule& d : q2) {
       if (d.head.arity() != q1.head.arity()) continue;
+      RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
       bool found =
           ForEachContainmentMapping(d, q1_collapsed, [&](const Substitution& h) {
             for (const Comparison& c : d.comparisons) {

@@ -1,6 +1,7 @@
 #include "containment/cq_containment.h"
 
 #include "containment/homomorphism.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -41,6 +42,7 @@ Result<bool> CqContainedInUnion(const Rule& q1, const UnionQuery& q2) {
   // containment mapping.
   for (const Rule& d : q2.disjuncts) {
     if (q1.head.arity() != d.head.arity()) continue;
+    RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
     if (FindContainmentMapping(d, q1).has_value()) return true;
   }
   return false;

@@ -2,6 +2,7 @@
 
 #include "containment/cq_containment.h"
 #include "datalog/substitution.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -45,6 +46,7 @@ class Enumerator {
         stop_ = true;
         return;
       }
+      RELCONT_TRACE_COUNT(kExpansionsVisited, 1);
       if (!visit_(rule)) stop_ = true;
       return;
     }
@@ -58,6 +60,7 @@ class Enumerator {
       Rule fresh = RenameApart(*def, interner_);
       Substitution mgu;
       if (!UnifyAtoms(subgoal, fresh.head, &mgu)) continue;
+      RELCONT_TRACE_COUNT(kExpansionRuleApps, 1);
       Rule resolved;
       resolved.head = mgu.Apply(rule.head);
       for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -95,6 +98,7 @@ Result<bool> ForEachExpansion(const Program& program, SymbolId goal,
           "expansion enumeration covers comparison-free programs");
     }
   }
+  RELCONT_TRACE_SPAN("expansion");
   return Enumerator(program, interner, options, visit).Run(goal);
 }
 

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace relcont {
 
 namespace {
+
+// Search statistics accumulated on the stack during one mapping search and
+// flushed to the active trace once at the end — the innermost loop never
+// touches thread-local state.
+struct SearchStats {
+  uint64_t candidates = 0;
+  uint64_t backtracks = 0;
+  uint64_t found = 0;
+};
 
 // Matches a pattern term (variables of `from` are match variables) against
 // a target term (variables of `to` are opaque, frozen symbols).
@@ -59,13 +70,21 @@ bool MatchHead(const Atom& pattern, const Atom& target, Substitution* subst) {
 bool Backtrack(const Rule& from, const Rule& to,
                const std::vector<int>& order, size_t depth,
                Substitution* subst,
-               const std::function<bool(const Substitution&)>& visit) {
-  if (depth == order.size()) return visit(*subst);
+               const std::function<bool(const Substitution&)>& visit,
+               SearchStats* stats) {
+  if (depth == order.size()) {
+    if (stats != nullptr) ++stats->found;
+    return visit(*subst);
+  }
   const Atom& pattern = from.body[order[depth]];
   for (const Atom& candidate : to.body) {
     Substitution extended = *subst;
+    if (stats != nullptr) ++stats->candidates;
     if (!MatchAtomFrozen(pattern, candidate, &extended)) continue;
-    if (Backtrack(from, to, order, depth + 1, &extended, visit)) return true;
+    if (Backtrack(from, to, order, depth + 1, &extended, visit, stats)) {
+      return true;
+    }
+    if (stats != nullptr) ++stats->backtracks;
   }
   return false;
 }
@@ -75,8 +94,22 @@ bool Backtrack(const Rule& from, const Rule& to,
 bool ForEachContainmentMapping(
     const Rule& from, const Rule& to,
     const std::function<bool(const Substitution&)>& visit) {
+#if RELCONT_TRACE
+  trace::TraceContext* trace_ctx = trace::CurrentTrace();
+  SearchStats stats;
+  SearchStats* stats_ptr = trace_ctx != nullptr ? &stats : nullptr;
+#else
+  SearchStats* stats_ptr = nullptr;
+#endif
   Substitution subst;
-  if (!MatchHead(from.head, to.head, &subst)) return false;
+  if (!MatchHead(from.head, to.head, &subst)) {
+#if RELCONT_TRACE
+    if (trace_ctx != nullptr) {
+      trace_ctx->AddCount(trace::Counter::kHomMappingCalls, 1);
+    }
+#endif
+    return false;
+  }
   // Visit atoms with fewer candidate targets first; this prunes early.
   std::vector<int> order(from.body.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
@@ -91,7 +124,16 @@ bool ForEachContainmentMapping(
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](int a, int b) { return candidates[a] < candidates[b]; });
-  return Backtrack(from, to, order, 0, &subst, visit);
+  bool result = Backtrack(from, to, order, 0, &subst, visit, stats_ptr);
+#if RELCONT_TRACE
+  if (trace_ctx != nullptr) {
+    trace_ctx->AddCount(trace::Counter::kHomMappingCalls, 1);
+    trace_ctx->AddCount(trace::Counter::kHomCandidatesTried, stats.candidates);
+    trace_ctx->AddCount(trace::Counter::kHomBacktracks, stats.backtracks);
+    trace_ctx->AddCount(trace::Counter::kHomMappingsFound, stats.found);
+  }
+#endif
+  return result;
 }
 
 std::optional<Substitution> FindContainmentMapping(const Rule& from,

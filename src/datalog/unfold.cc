@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "datalog/substitution.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -41,6 +42,7 @@ class Unfolder {
           options_.max_disjuncts) {
         return Status::BoundReached("max_disjuncts exceeded while unfolding");
       }
+      RELCONT_TRACE_COUNT(kUnfoldDisjuncts, 1);
       out->disjuncts.push_back(rule);
       return Status::OK();
     }
@@ -49,6 +51,7 @@ class Unfolder {
       Rule fresh = RenameApart(*def, interner_);
       Substitution mgu;
       if (!UnifyAtoms(subgoal, fresh.head, &mgu)) continue;
+      RELCONT_TRACE_COUNT(kUnfoldResolutions, 1);
       Rule resolved;
       resolved.head = mgu.Apply(rule.head);
       for (size_t i = 0; i < rule.body.size(); ++i) {
@@ -83,6 +86,7 @@ Result<UnionQuery> UnfoldToUnion(const Program& program, SymbolId goal,
   if (program.IsRecursive()) {
     return Status::Unsupported("cannot unfold a recursive program");
   }
+  RELCONT_TRACE_SPAN("unfold");
   return Unfolder(program, interner, options).Run(goal);
 }
 

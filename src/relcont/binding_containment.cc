@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "containment/expansion.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -26,16 +27,21 @@ Result<BindingRelativeResult> RelativelyContainedWithBindingPatterns(
         "Theorem 4.2 requires the containing query to be nonrecursive");
   }
 
-  RELCONT_ASSIGN_OR_RETURN(
-      ExecutablePlanResult plan,
-      ExecutablePlan(q1.program, views, patterns, interner));
-  RELCONT_ASSIGN_OR_RETURN(
-      Program p1_exp,
-      ExpandExecutablePlanForContainment(plan, q1.goal, views, interner));
-  RELCONT_ASSIGN_OR_RETURN(
-      UnionQuery q2_ucq,
-      UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  ExecutablePlanResult plan;
+  Program p1_exp;
+  UnionQuery q2_ucq;
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    RELCONT_ASSIGN_OR_RETURN(
+        plan, ExecutablePlan(q1.program, views, patterns, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        p1_exp,
+        ExpandExecutablePlanForContainment(plan, q1.goal, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        q2_ucq, UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  }
 
+  RELCONT_TRACE_SPAN("containment_check");
   Result<DomContainmentResult> decision =
       DomPlanContainedInUcq(p1_exp, q1.goal, plan.dom_predicate, q2_ucq,
                             interner, options);

@@ -1,5 +1,7 @@
 #include "relcont/decide.h"
 
+#include "trace/trace.h"
+
 namespace relcont {
 
 namespace {
@@ -51,6 +53,7 @@ Result<Decision> DecideRelativeContainment(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     const BindingPatterns& patterns, Interner* interner,
     const DecideOptions& options) {
+  RELCONT_TRACE_SPAN("decide");
   bool comparisons = HasComparisons(q1.program) || HasComparisons(q2.program) ||
                      HasComparisons(views);
   Decision out;
@@ -60,6 +63,7 @@ Result<Decision> DecideRelativeContainment(
           "binding patterns combined with comparison predicates are outside "
           "the paper's decidable fragments");
     }
+    RELCONT_TRACE_SPAN("regime_section4");
     RELCONT_ASSIGN_OR_RETURN(
         BindingRelativeResult r,
         RelativelyContainedWithBindingPatterns(q1, q2, views, patterns,
@@ -71,6 +75,7 @@ Result<Decision> DecideRelativeContainment(
   }
   if (comparisons) {
     if (!HasComparisons(q1.program)) {
+      RELCONT_TRACE_SPAN("regime_theorem52");
       RelativeContainmentOptions rel_opts;
       rel_opts.unfold = options.unfold;
       Rule witness;
@@ -83,6 +88,7 @@ Result<Decision> DecideRelativeContainment(
       if (!contained) out.witness = witness;
       return out;
     }
+    RELCONT_TRACE_SPAN("regime_theorem51");
     RelativeContainmentOptions rel_opts;
     rel_opts.unfold = options.unfold;
     RELCONT_ASSIGN_OR_RETURN(
@@ -94,6 +100,7 @@ Result<Decision> DecideRelativeContainment(
     return out;
   }
   if (q1.program.IsRecursive() || q2.program.IsRecursive()) {
+    RELCONT_TRACE_SPAN("regime_theorem32");
     OneRecursiveOptions rec_opts;
     rec_opts.unfold = options.unfold;
     rec_opts.max_rule_applications = options.max_rule_applications;
@@ -107,6 +114,7 @@ Result<Decision> DecideRelativeContainment(
     if (!contained) out.witness = witness;
     return out;
   }
+  RELCONT_TRACE_SPAN("regime_section3");
   RelativeContainmentOptions rel_opts;
   rel_opts.unfold = options.unfold;
   RELCONT_ASSIGN_OR_RETURN(

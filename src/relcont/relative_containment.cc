@@ -7,21 +7,26 @@
 #include "containment/expansion.h"
 #include "rewriting/comparison_plans.h"
 #include "rewriting/inverse_rules.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
 Result<RelativeContainmentResult> RelativelyContained(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     Interner* interner, const RelativeContainmentOptions& options) {
-  RELCONT_ASSIGN_OR_RETURN(Program p1,
-                           MaximallyContainedPlan(q1.program, views, interner));
-  RELCONT_ASSIGN_OR_RETURN(Program p2,
-                           MaximallyContainedPlan(q2.program, views, interner));
   RelativeContainmentResult out;
-  RELCONT_ASSIGN_OR_RETURN(
-      out.plan1, PlanToUnion(p1, q1.goal, views, interner, options.unfold));
-  RELCONT_ASSIGN_OR_RETURN(
-      out.plan2, PlanToUnion(p2, q2.goal, views, interner, options.unfold));
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p1, MaximallyContainedPlan(q1.program, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p2, MaximallyContainedPlan(q2.program, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        out.plan1, PlanToUnion(p1, q1.goal, views, interner, options.unfold));
+    RELCONT_ASSIGN_OR_RETURN(
+        out.plan2, PlanToUnion(p2, q2.goal, views, interner, options.unfold));
+  }
+  RELCONT_TRACE_SPAN("containment_check");
   out.contained = true;
   for (const Rule& d : out.plan1.disjuncts) {
     RELCONT_ASSIGN_OR_RETURN(bool contained,
@@ -69,35 +74,44 @@ Result<bool> RelativelyContainedOneRecursive(
   if (q2_recursive) {
     // Exact: UCQ plan of Q1 contained in the recursive plan of Q2, by
     // canonical databases.
-    RELCONT_ASSIGN_OR_RETURN(
-        Program p1, MaximallyContainedPlan(q1.program, views, interner));
-    RELCONT_ASSIGN_OR_RETURN(
-        UnionQuery plan1,
-        PlanToUnion(p1, q1.goal, views, interner, options.unfold));
-    RELCONT_ASSIGN_OR_RETURN(
-        Program p2, MaximallyContainedPlan(q2.program, views, interner));
+    UnionQuery plan1;
+    Program p2;
+    {
+      RELCONT_TRACE_SPAN("build_plans");
+      RELCONT_ASSIGN_OR_RETURN(
+          Program p1, MaximallyContainedPlan(q1.program, views, interner));
+      RELCONT_ASSIGN_OR_RETURN(
+          plan1, PlanToUnion(p1, q1.goal, views, interner, options.unfold));
+      RELCONT_ASSIGN_OR_RETURN(
+          p2, MaximallyContainedPlan(q2.program, views, interner));
+    }
+    RELCONT_TRACE_SPAN("containment_check");
     return UnionContainedInDatalog(plan1, p2, q2.goal, interner, witness);
   }
   // Q1 recursive: P1^exp ⊑ Q2 via bounded expansion search. Build the
   // expansion with the binding-pattern machinery (empty pattern set) so
   // the plan's mediated relations are renamed apart from the stored ones,
   // then drop the unused dom apparatus.
-  BindingPatterns no_patterns;
-  RELCONT_ASSIGN_OR_RETURN(
-      ExecutablePlanResult plan,
-      ExecutablePlan(q1.program, views, no_patterns, interner));
-  RELCONT_ASSIGN_OR_RETURN(
-      Program p1_exp,
-      ExpandExecutablePlanForContainment(plan, q1.goal, views, interner));
   Program pruned;
-  for (Rule& r : p1_exp.rules) {
-    if (r.head.predicate != plan.dom_predicate) {
-      pruned.rules.push_back(std::move(r));
+  UnionQuery q2_ucq;
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    BindingPatterns no_patterns;
+    RELCONT_ASSIGN_OR_RETURN(
+        ExecutablePlanResult plan,
+        ExecutablePlan(q1.program, views, no_patterns, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p1_exp,
+        ExpandExecutablePlanForContainment(plan, q1.goal, views, interner));
+    for (Rule& r : p1_exp.rules) {
+      if (r.head.predicate != plan.dom_predicate) {
+        pruned.rules.push_back(std::move(r));
+      }
     }
+    RELCONT_ASSIGN_OR_RETURN(
+        q2_ucq, UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
   }
-  RELCONT_ASSIGN_OR_RETURN(
-      UnionQuery q2_ucq,
-      UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  RELCONT_TRACE_SPAN("containment_check");
   ExpansionOptions bounds;
   bounds.max_rule_applications = options.max_rule_applications;
   bounds.max_expansions = options.max_expansions;
@@ -144,16 +158,20 @@ Result<bool> RelativelyContainedViaExpansion(
           "Theorem 5.2 requires the contained query to be comparison-free");
     }
   }
-  RELCONT_ASSIGN_OR_RETURN(Program p1,
-                           MaximallyContainedPlan(q1.program, views, interner));
-  RELCONT_ASSIGN_OR_RETURN(
-      UnionQuery plan1, PlanToUnion(p1, q1.goal, views, interner,
-                                    options.unfold));
-  RELCONT_ASSIGN_OR_RETURN(UnionQuery p1_exp,
-                           ExpandUnionPlan(plan1, views, interner));
-  RELCONT_ASSIGN_OR_RETURN(
-      UnionQuery q2_ucq,
-      UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  UnionQuery p1_exp;
+  UnionQuery q2_ucq;
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p1, MaximallyContainedPlan(q1.program, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        UnionQuery plan1, PlanToUnion(p1, q1.goal, views, interner,
+                                      options.unfold));
+    RELCONT_ASSIGN_OR_RETURN(p1_exp, ExpandUnionPlan(plan1, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        q2_ucq, UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+  }
+  RELCONT_TRACE_SPAN("containment_check");
   for (const Rule& d : p1_exp.disjuncts) {
     RELCONT_ASSIGN_OR_RETURN(bool contained,
                              CqContainedInUnionComplete(d, q2_ucq));
@@ -169,12 +187,16 @@ Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     Interner* interner, const RelativeContainmentOptions& options) {
   RelativeContainmentResult out;
-  RELCONT_ASSIGN_OR_RETURN(
-      out.plan1, ComparisonAwarePlan(q1.program, q1.goal, views, interner,
-                                     options.unfold));
-  RELCONT_ASSIGN_OR_RETURN(
-      out.plan2, ComparisonAwarePlan(q2.program, q2.goal, views, interner,
-                                     options.unfold));
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    RELCONT_ASSIGN_OR_RETURN(
+        out.plan1, ComparisonAwarePlan(q1.program, q1.goal, views, interner,
+                                       options.unfold));
+    RELCONT_ASSIGN_OR_RETURN(
+        out.plan2, ComparisonAwarePlan(q2.program, q2.goal, views, interner,
+                                       options.unfold));
+  }
+  RELCONT_TRACE_SPAN("containment_check");
   out.contained = true;
   for (const Rule& d : out.plan1.disjuncts) {
     // Compare over consistent instances: the left disjunct may assume every

@@ -4,6 +4,7 @@
 #include "containment/comparison_containment.h"
 #include "datalog/substitution.h"
 #include "rewriting/inverse_rules.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -112,6 +113,7 @@ Result<UnionQuery> ComparisonAwarePlan(const Program& query, SymbolId goal,
                                        const ViewSet& views,
                                        Interner* interner,
                                        const UnfoldOptions& options) {
+  RELCONT_TRACE_SPAN("plan_comparison_aware");
   RELCONT_RETURN_NOT_OK(query.CheckSafe());
   std::set<SymbolId> sources = views.SourcePredicates();
   for (const Rule& r : query.rules) {

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "datalog/substitution.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -32,6 +33,7 @@ Result<Program> InvertViews(const ViewSet& views, Interner* interner) {
       inverse.head = sigma.Apply(subgoal);
       inverse.body.push_back(rule.head);
       out.rules.push_back(std::move(inverse));
+      RELCONT_TRACE_COUNT(kPlanRules, 1);
     }
   }
   return out;
@@ -40,6 +42,7 @@ Result<Program> InvertViews(const ViewSet& views, Interner* interner) {
 Result<Program> MaximallyContainedPlan(const Program& query,
                                        const ViewSet& views,
                                        Interner* interner) {
+  RELCONT_TRACE_SPAN("plan_inverse_rules");
   RELCONT_RETURN_NOT_OK(query.CheckSafe());
   std::set<SymbolId> sources = views.SourcePredicates();
   for (const Rule& r : query.rules) {
@@ -83,12 +86,16 @@ bool RuleHasFunctionTerm(const Rule& r) {
 Result<UnionQuery> PlanToUnion(const Program& plan, SymbolId goal,
                                const ViewSet& views, Interner* interner,
                                const UnfoldOptions& options) {
+  RELCONT_TRACE_SPAN("plan_to_union");
   RELCONT_ASSIGN_OR_RETURN(UnionQuery unfolded,
                            UnfoldToUnion(plan, goal, interner, options));
   std::set<SymbolId> sources = views.SourcePredicates();
   UnionQuery out;
   for (Rule& d : unfolded.disjuncts) {
-    if (RuleHasFunctionTerm(d)) continue;
+    if (RuleHasFunctionTerm(d)) {
+      RELCONT_TRACE_COUNT(kPlanDisjunctsDropped, 1);
+      continue;
+    }
     bool answerable = true;
     for (const Atom& a : d.body) {
       if (sources.count(a.predicate) == 0) {
@@ -96,7 +103,12 @@ Result<UnionQuery> PlanToUnion(const Program& plan, SymbolId goal,
         break;
       }
     }
-    if (answerable) out.disjuncts.push_back(std::move(d));
+    if (answerable) {
+      RELCONT_TRACE_COUNT(kPlanDisjunctsKept, 1);
+      out.disjuncts.push_back(std::move(d));
+    } else {
+      RELCONT_TRACE_COUNT(kPlanDisjunctsDropped, 1);
+    }
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "service/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace relcont {
@@ -10,6 +11,7 @@ void LatencyHistogram::Record(uint64_t micros) {
     ++bucket;
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
 }
 
 uint64_t LatencyHistogram::TotalCount() const {
@@ -35,8 +37,65 @@ void ServiceMetrics::RecordRequest(Regime regime, uint64_t latency_micros,
   latency_.Record(latency_micros);
 }
 
+void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
+                                 const trace::TraceContext& trace,
+                                 std::string description) {
+  auto& totals = counter_totals_[static_cast<int>(regime)];
+  for (int c = 0; c < kNumTraceCounters; ++c) {
+    uint64_t v = trace.TotalCount(static_cast<trace::Counter>(c));
+    if (v != 0) totals[c].fetch_add(v, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  for (const trace::SpanNode& s : trace.spans()) {
+    PhaseStat& stat = phases_[s.name];
+    stat.ns += s.duration_ns();
+    stat.calls += 1;
+  }
+  if (slow_log_capacity_ == 0) return;
+  if (slow_log_.size() >= slow_log_capacity_ &&
+      latency_micros <= slow_log_.back().latency_micros) {
+    return;
+  }
+  SlowRequest entry;
+  entry.latency_micros = latency_micros;
+  entry.regime = regime;
+  entry.description = std::move(description);
+  entry.trace_text = trace.ToText();
+  slow_log_.push_back(std::move(entry));
+  std::sort(slow_log_.begin(), slow_log_.end(),
+            [](const SlowRequest& a, const SlowRequest& b) {
+              return a.latency_micros > b.latency_micros;
+            });
+  if (slow_log_.size() > slow_log_capacity_) {
+    slow_log_.resize(slow_log_capacity_);
+  }
+}
+
+uint64_t ServiceMetrics::PhaseNanos(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  auto it = phases_.find(phase);
+  return it == phases_.end() ? 0 : it->second.ns;
+}
+
+uint64_t ServiceMetrics::PhaseCalls(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  auto it = phases_.find(phase);
+  return it == phases_.end() ? 0 : it->second.calls;
+}
+
+std::vector<SlowRequest> ServiceMetrics::SlowLog() const {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return slow_log_;
+}
+
+void ServiceMetrics::set_slow_log_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  slow_log_capacity_ = capacity;
+  if (slow_log_.size() > capacity) slow_log_.resize(capacity);
+}
+
 std::string ServiceMetrics::Dump(const CacheStats& cache) const {
-  char line[160];
+  char line[256];
   std::string out;
   std::snprintf(line, sizeof(line),
                 "requests_total %llu\nerrors_total %llu\n",
@@ -61,20 +120,82 @@ std::string ServiceMetrics::Dump(const CacheStats& cache) const {
                 static_cast<unsigned long long>(cache.evictions),
                 static_cast<unsigned long long>(cache.entries));
   out += line;
+  // Prometheus histogram convention: buckets are cumulative, keyed by
+  // their inclusive upper bound `le`, and always end at +Inf; the paired
+  // _sum/_count series make averages computable.
+  uint64_t cumulative = 0;
   for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
-    uint64_t count = latency_.BucketCount(i);
-    if (count == 0) continue;
+    cumulative += latency_.BucketCount(i);
     auto [lower, upper] = LatencyHistogram::BucketBounds(i);
+    (void)lower;
     if (upper == 0) {
-      std::snprintf(line, sizeof(line), "latency_us{ge=%llu} %llu\n",
-                    static_cast<unsigned long long>(lower),
-                    static_cast<unsigned long long>(count));
+      std::snprintf(line, sizeof(line),
+                    "latency_us_bucket{le=\"+Inf\"} %llu\n",
+                    static_cast<unsigned long long>(cumulative));
     } else {
-      std::snprintf(line, sizeof(line), "latency_us{lt=%llu} %llu\n",
-                    static_cast<unsigned long long>(upper),
-                    static_cast<unsigned long long>(count));
+      // The bucket upper bound is exclusive in the histogram but `le` is
+      // inclusive; [0, 2^i) integers == le 2^i - 1.
+      std::snprintf(line, sizeof(line),
+                    "latency_us_bucket{le=\"%llu\"} %llu\n",
+                    static_cast<unsigned long long>(upper - 1),
+                    static_cast<unsigned long long>(cumulative));
     }
     out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "latency_us_sum %llu\nlatency_us_count %llu\n",
+                static_cast<unsigned long long>(latency_.SumMicros()),
+                static_cast<unsigned long long>(latency_.TotalCount()));
+  out += line;
+
+  for (int r = 0; r < kNumRegimes; ++r) {
+    for (int c = 0; c < kNumTraceCounters; ++c) {
+      uint64_t v = counter_totals_[r][c].load(std::memory_order_relaxed);
+      if (v == 0) continue;
+      std::string_view regime = RegimeName(static_cast<Regime>(r));
+      std::string_view counter =
+          trace::CounterName(static_cast<trace::Counter>(c));
+      std::snprintf(line, sizeof(line),
+                    "trace_counter_total{regime=\"%.*s\",counter=\"%.*s\"} "
+                    "%llu\n",
+                    static_cast<int>(regime.size()), regime.data(),
+                    static_cast<int>(counter.size()), counter.data(),
+                    static_cast<unsigned long long>(v));
+      out += line;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  for (const auto& [phase, stat] : phases_) {
+    std::snprintf(line, sizeof(line),
+                  "trace_phase_ns{phase=\"%s\"} %llu\n"
+                  "trace_phase_calls{phase=\"%s\"} %llu\n",
+                  phase.c_str(), static_cast<unsigned long long>(stat.ns),
+                  phase.c_str(),
+                  static_cast<unsigned long long>(stat.calls));
+    out += line;
+  }
+  for (size_t i = 0; i < slow_log_.size(); ++i) {
+    const SlowRequest& slow = slow_log_[i];
+    std::string_view regime = RegimeName(slow.regime);
+    std::snprintf(line, sizeof(line),
+                  "slow_request{rank=%llu,latency_us=%llu,regime=\"%.*s\"} ",
+                  static_cast<unsigned long long>(i),
+                  static_cast<unsigned long long>(slow.latency_micros),
+                  static_cast<int>(regime.size()), regime.data());
+    out += line;
+    out += slow.description;
+    out += '\n';
+    // The span tree, indented so a scraper can skip continuation lines.
+    size_t begin = 0;
+    while (begin < slow.trace_text.size()) {
+      size_t end = slow.trace_text.find('\n', begin);
+      if (end == std::string::npos) end = slow.trace_text.size();
+      out += "    ";
+      out.append(slow.trace_text, begin, end - begin);
+      out += '\n';
+      begin = end + 1;
+    }
   }
   return out;
 }

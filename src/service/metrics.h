@@ -4,11 +4,15 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "relcont/decide.h"
 #include "service/decision_cache.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -25,6 +29,10 @@ class LatencyHistogram {
     return buckets_[bucket].load(std::memory_order_relaxed);
   }
   uint64_t TotalCount() const;
+  /// Sum of every recorded latency, in microseconds.
+  uint64_t SumMicros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
 
   /// [lower, upper) bounds of `bucket` in microseconds; upper is 0 for the
   /// unbounded last bucket.
@@ -32,19 +40,46 @@ class LatencyHistogram {
 
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_micros_{0};
+};
+
+/// One entry of the slow-request log: the worst-latency traced requests
+/// seen so far, with their rendered span trees.
+struct SlowRequest {
+  uint64_t latency_micros = 0;
+  Regime regime = Regime::kUnknown;
+  /// One-line request description (queries + catalog, newline-free).
+  std::string description;
+  /// The EXPLAIN-style span tree of the request.
+  std::string trace_text;
 };
 
 /// Request-level counters for the containment service: totals, errors,
 /// cache hits observed at the request level, per-regime decision counts,
 /// and the latency histogram. All counters are atomics — recording from
 /// many workers never blocks. Thread-safe.
+///
+/// When tracing is enabled (per request or service-wide), RecordTrace
+/// additionally folds each trace into per-phase cumulative timers, per-
+/// regime trace-counter totals, and a bounded log of the N worst traces.
+/// Those aggregates are mutex-protected; they sit off the hot path — a
+/// request that was not traced never touches them.
 class ServiceMetrics {
  public:
   static constexpr int kNumRegimes = 6;  // Regime enumerators incl. kUnknown
+  static constexpr int kNumTraceCounters =
+      static_cast<int>(trace::Counter::kNumCounters);
 
   /// Records one finished request. `regime` is kUnknown for errors.
   void RecordRequest(Regime regime, uint64_t latency_micros, bool error,
                      bool cache_hit);
+
+  /// Folds one recorded trace into the observability aggregates: every
+  /// span adds to the cumulative timer and call count of its phase (spans
+  /// aggregate by name), every counter adds to the regime's totals, and
+  /// the request enters the slow log if it ranks among the worst.
+  void RecordTrace(Regime regime, uint64_t latency_micros,
+                   const trace::TraceContext& trace, std::string description);
 
   uint64_t requests() const {
     return requests_.load(std::memory_order_relaxed);
@@ -59,16 +94,49 @@ class ServiceMetrics {
   }
   const LatencyHistogram& latency() const { return latency_; }
 
+  /// Cumulative nanoseconds spent in spans named `phase` across every
+  /// recorded trace, and how many such spans were recorded.
+  uint64_t PhaseNanos(const std::string& phase) const;
+  uint64_t PhaseCalls(const std::string& phase) const;
+  /// Total of `c` across every trace recorded under `regime`.
+  uint64_t RegimeCounterTotal(Regime regime, trace::Counter c) const {
+    return counter_totals_[static_cast<int>(regime)][static_cast<int>(c)]
+        .load(std::memory_order_relaxed);
+  }
+  /// Snapshot of the slow log, worst latency first.
+  std::vector<SlowRequest> SlowLog() const;
+
+  /// Caps the slow log at `capacity` entries (default 4; 0 disables it).
+  void set_slow_log_capacity(size_t capacity);
+
   /// Renders a multi-line text dump: request totals, per-regime counts,
-  /// the supplied cache counters, and the nonempty latency buckets.
+  /// the supplied cache counters, the latency histogram as cumulative
+  /// Prometheus-style `le` buckets with `latency_us_sum`/`_count`, and —
+  /// when traces were recorded — per-phase timers, per-regime trace
+  /// counter totals, and the slow-request log.
   std::string Dump(const CacheStats& cache) const;
 
  private:
+  struct PhaseStat {
+    uint64_t ns = 0;
+    uint64_t calls = 0;
+  };
+
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::array<std::atomic<uint64_t>, kNumRegimes> by_regime_{};
   LatencyHistogram latency_;
+
+  std::array<std::array<std::atomic<uint64_t>, kNumTraceCounters>,
+             kNumRegimes>
+      counter_totals_{};
+
+  mutable std::mutex trace_mu_;
+  std::map<std::string, PhaseStat> phases_;
+  size_t slow_log_capacity_ = 4;
+  /// Sorted worst-first; at most slow_log_capacity_ entries.
+  std::vector<SlowRequest> slow_log_;
 };
 
 }  // namespace relcont

@@ -50,6 +50,7 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
   if (command == "CATALOG") return HandleCatalog(rest);
   if (command == "DEFINE") return HandleDefine(rest);
   if (command == "CONTAINED?") return HandleContained(rest);
+  if (command == "EXPLAIN") return HandleExplain(rest);
   if (command == "BATCH") return HandleBatch(rest);
   if (command == "CATALOGS") {
     std::string out;
@@ -68,6 +69,7 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
            "<adornment>]...\n"
            "DEFINE <name> <rule> [<rule>]...\n"
            "CONTAINED? <q1> <q2> @<catalog>\n"
+           "EXPLAIN [JSON] <q1> <q2> @<catalog>\n"
            "BATCH BEGIN ... BATCH END\n"
            "CATALOGS | METRICS | HELP\n";
   }
@@ -164,6 +166,47 @@ std::string ServerSession::HandleContained(const std::string& rest) {
     return "QUEUED " + std::to_string(batch_.size() - 1) + "\n";
   }
   return RenderResponse(service_->Decide(request, &ctx_));
+}
+
+std::string ServerSession::HandleExplain(const std::string& rest) {
+  if (in_batch_) {
+    return "ERR InvalidArgument: EXPLAIN is not allowed inside a batch\n";
+  }
+  std::vector<std::string> tokens = Tokenize(rest);
+  bool json = !tokens.empty() && tokens[0] == "JSON";
+  if (json) tokens.erase(tokens.begin());
+  if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
+    return "ERR InvalidArgument: expected EXPLAIN [JSON] <q1> <q2> "
+           "@<catalog>\n";
+  }
+  DecisionRequest request;
+  for (int side = 0; side < 2; ++side) {
+    auto it = queries_.find(tokens[side]);
+    if (it == queries_.end()) {
+      return "ERR InvalidArgument: unknown query '" + tokens[side] +
+             "' — DEFINE it first\n";
+    }
+    (side == 0 ? request.q1_text : request.q2_text) = it->second;
+  }
+  request.catalog = tokens[2].substr(1);
+  // Bypass the cache so there is an actual decision to trace — a cache hit
+  // would explain nothing.
+  request.bypass_cache = true;
+  request.collect_trace = true;
+  DecisionResponse response = service_->Decide(request, &ctx_);
+  std::string out = RenderResponse(response);
+  if (!response.status.ok() || response.trace == nullptr) return out;
+  if (response.trace->spans().empty() && !trace::kCompiledIn) {
+    out += "(trace hooks compiled out: rebuild with -DRELCONT_TRACE=ON)\n";
+    return out;
+  }
+  if (json) {
+    out += response.trace->ToChromeJson();
+    out += '\n';
+  } else {
+    out += response.trace->ToText();
+  }
+  return out;
 }
 
 std::string ServerSession::HandleBatch(const std::string& rest) {

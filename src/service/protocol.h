@@ -15,11 +15,15 @@ namespace relcont {
 ///   CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> <adr>]...
 ///   DEFINE <name> <rule> [<rule>]...
 ///   CONTAINED? <q1> <q2> @<catalog>
+///   EXPLAIN [JSON] <q1> <q2> @<catalog>   (traced, cache-bypassing decision)
 ///   BATCH BEGIN ... BATCH END       (CONTAINED? lines fan out in parallel)
 ///   CATALOGS | METRICS | HELP
 ///
 /// Responses are single lines ("OK ...", "YES ...", "NO ...", "ERR ...")
-/// except METRICS and BATCH END, which emit one line per item. The session
+/// except METRICS, BATCH END, and EXPLAIN, which emit several. EXPLAIN
+/// answers like CONTAINED? on its first line, then the decision's span
+/// tree (indented text, or one line of Chrome trace_event JSON with the
+/// JSON flag — see docs/OBSERVABILITY.md). The session
 /// owns a WorkerContext; the ContainmentService it fronts is shared, so
 /// many sessions (e.g. one per connection) can run concurrently.
 ///
@@ -37,6 +41,7 @@ class ServerSession {
   std::string HandleCatalog(const std::string& rest);
   std::string HandleDefine(const std::string& rest);
   std::string HandleContained(const std::string& rest);
+  std::string HandleExplain(const std::string& rest);
   std::string HandleBatch(const std::string& rest);
   std::string RenderResponse(const DecisionResponse& response) const;
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "containment/canonical.h"
@@ -57,6 +58,21 @@ std::string MakeCacheKey(const GoalQuery& q1, const GoalQuery& q2,
   return key;
 }
 
+/// One newline-free line identifying a request in the slow log.
+std::string DescribeRequest(const DecisionRequest& request) {
+  std::string out = request.q1_text + " => " + request.q2_text + " @" +
+                    request.catalog;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  constexpr size_t kMaxLength = 160;
+  if (out.size() > kMaxLength) {
+    out.resize(kMaxLength - 3);
+    out += "...";
+  }
+  return out;
+}
+
 }  // namespace
 
 WorkerContext::WorkerContext() : interner_(std::make_unique<Interner>()) {}
@@ -68,7 +84,9 @@ void WorkerContext::Reset() {
 
 ContainmentService::ContainmentService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {}
+      cache_(config.cache_capacity, config.cache_shards) {
+  metrics_.set_slow_log_capacity(config.slow_log_capacity);
+}
 
 Result<const MaterializedCatalog*> ContainmentService::CatalogFor(
     const std::string& name, WorkerContext* ctx) {
@@ -104,6 +122,14 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
                                             WorkerContext* ctx) {
   auto start = std::chrono::steady_clock::now();
   DecisionResponse out;
+  std::shared_ptr<trace::TraceContext> trace_ctx;
+  std::optional<trace::TraceScope> trace_scope;
+  if (request.collect_trace || config_.trace_requests) {
+    trace_ctx = std::make_shared<trace::TraceContext>();
+    // Installed for this thread only; concurrent workers each install
+    // their own context, so traces never interleave.
+    trace_scope.emplace(trace_ctx.get());
+  }
   // The body below returns early through this lambda so the latency and
   // metrics accounting runs on every path, including errors.
   out.status = [&]() -> Status {
@@ -143,12 +169,18 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
     }
     return Status::OK();
   }();
+  trace_scope.reset();
   out.latency_micros = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
   metrics_.RecordRequest(out.regime, out.latency_micros, !out.status.ok(),
                          out.cache_hit);
+  if (trace_ctx != nullptr) {
+    metrics_.RecordTrace(out.regime, out.latency_micros, *trace_ctx,
+                         DescribeRequest(request));
+    out.trace = std::move(trace_ctx);
+  }
   return out;
 }
 

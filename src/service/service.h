@@ -11,6 +11,7 @@
 #include "service/catalog.h"
 #include "service/decision_cache.h"
 #include "service/metrics.h"
+#include "trace/trace.h"
 
 namespace relcont {
 
@@ -35,6 +36,12 @@ struct ServiceConfig {
   /// than this many symbols (decision procedures mint fresh symbols per
   /// request, so long-lived arenas grow without bound).
   int64_t max_worker_symbols = 1 << 20;
+  /// When true every request is traced (as if collect_trace were set) and
+  /// folded into the metrics aggregates. Off by default: tracing allocates
+  /// and is not free, unlike the dormant instrumentation hooks.
+  bool trace_requests = false;
+  /// How many worst-latency traces METRICS retains (0 disables the log).
+  size_t slow_log_capacity = 4;
 };
 
 /// One containment question. The query texts use the ParseProgram syntax
@@ -50,6 +57,10 @@ struct DecisionRequest {
   /// benchmarks to measure cold decision cost, and available to clients
   /// that need a from-scratch re-derivation).
   bool bypass_cache = false;
+  /// When true the decision runs under a TraceContext and the response
+  /// carries the recorded span tree (EXPLAIN sets this, together with
+  /// bypass_cache so there is an actual decision to trace).
+  bool collect_trace = false;
 };
 
 struct DecisionResponse {
@@ -62,6 +73,10 @@ struct DecisionResponse {
   std::string witness_text;
   bool cache_hit = false;
   uint64_t latency_micros = 0;
+  /// The decision's span tree, present iff tracing was requested for this
+  /// request (empty spans when the hooks are compiled out). Shared so
+  /// responses stay cheap to copy.
+  std::shared_ptr<const trace::TraceContext> trace;
 };
 
 /// Per-thread working memory: the interner arena plus the catalogs

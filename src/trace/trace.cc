@@ -1,0 +1,216 @@
+#include "trace/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace relcont {
+namespace trace {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+thread_local TraceContext* g_current = nullptr;
+
+/// Appends a JSON-escaped copy of `s` (span names are plain identifiers,
+/// but stay safe if one ever is not).
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kPlanRules:
+      return "plan_rules";
+    case Counter::kPlanDisjunctsKept:
+      return "plan_disjuncts_kept";
+    case Counter::kPlanDisjunctsDropped:
+      return "plan_disjuncts_dropped";
+    case Counter::kUnfoldResolutions:
+      return "unfold_resolutions";
+    case Counter::kUnfoldDisjuncts:
+      return "unfold_disjuncts";
+    case Counter::kExpansionsVisited:
+      return "expansions_visited";
+    case Counter::kExpansionRuleApps:
+      return "expansion_rule_apps";
+    case Counter::kFrozenQueries:
+      return "frozen_queries";
+    case Counter::kFrozenAtoms:
+      return "frozen_atoms";
+    case Counter::kFrozenConstants:
+      return "frozen_constants";
+    case Counter::kHomMappingCalls:
+      return "hom_mapping_calls";
+    case Counter::kHomCandidatesTried:
+      return "hom_candidates_tried";
+    case Counter::kHomBacktracks:
+      return "hom_backtracks";
+    case Counter::kHomMappingsFound:
+      return "hom_mappings_found";
+    case Counter::kDisjunctChecks:
+      return "disjunct_checks";
+    case Counter::kLinearizations:
+      return "linearizations";
+    case Counter::kEntailmentChecks:
+      return "entailment_checks";
+    case Counter::kClosureRecomputes:
+      return "closure_recomputes";
+    case Counter::kDomTreeOptions:
+      return "dom_tree_options";
+    case Counter::kDomCoresChecked:
+      return "dom_cores_checked";
+    case Counter::kDomSaturationRounds:
+      return "dom_saturation_rounds";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "unknown";
+}
+
+TraceContext::TraceContext() : epoch_ns_(NowNs()) {}
+
+int TraceContext::OpenSpan(const char* name) {
+  SpanNode node;
+  node.name = name;
+  node.start_ns = NowNs() - epoch_ns_;
+  node.parent = open_;
+  node.depth = open_ < 0 ? 0 : spans_[open_].depth + 1;
+  int index = static_cast<int>(spans_.size());
+  spans_.push_back(node);
+  open_ = index;
+  return index;
+}
+
+void TraceContext::CloseSpan(int index) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  uint64_t now = NowNs() - epoch_ns_;
+  // Close intervening spans too, so early returns that skip inner
+  // destructors (there are none, but be safe) cannot corrupt the tree.
+  while (open_ >= 0) {
+    int closing = open_;
+    if (spans_[closing].end_ns == 0) spans_[closing].end_ns = now;
+    open_ = spans_[closing].parent;
+    if (closing == index) break;
+  }
+}
+
+void TraceContext::AddCount(Counter c, uint64_t delta) {
+  if (spans_.empty()) {
+    OpenSpan("orphan");  // counts recorded outside any span still land
+  }
+  int target = open_ >= 0 ? open_ : static_cast<int>(spans_.size()) - 1;
+  spans_[target].counters[static_cast<size_t>(c)] += delta;
+}
+
+uint64_t TraceContext::TotalCount(Counter c) const {
+  uint64_t total = 0;
+  for (const SpanNode& s : spans_) total += s.counters[static_cast<size_t>(c)];
+  return total;
+}
+
+uint64_t TraceContext::root_duration_ns() const {
+  for (const SpanNode& s : spans_) {
+    if (s.parent < 0) return s.duration_ns();
+  }
+  return 0;
+}
+
+std::string TraceContext::ToText() const {
+  std::string out;
+  char buf[64];
+  for (const SpanNode& s : spans_) {
+    out.append(static_cast<size_t>(s.depth) * 2, ' ');
+    out.append(s.name);
+    std::snprintf(buf, sizeof(buf), " %llu.%03lluus",
+                  static_cast<unsigned long long>(s.duration_ns() / 1000),
+                  static_cast<unsigned long long>(s.duration_ns() % 1000));
+    out.append(buf);
+    for (int c = 0; c < static_cast<int>(Counter::kNumCounters); ++c) {
+      uint64_t v = s.counters[static_cast<size_t>(c)];
+      if (v == 0) continue;
+      out.push_back(' ');
+      out.append(CounterName(static_cast<Counter>(c)));
+      out.push_back('=');
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(v));
+      out.append(buf);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TraceContext::ToChromeJson() const {
+  // The trace_event "X" (complete) phase wants microsecond floats; emit
+  // fractional microseconds from the nanosecond timestamps.
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const SpanNode& s : spans_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(s.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%llu.%03llu,"
+                  "\"dur\":%llu.%03llu",
+                  static_cast<unsigned long long>(s.start_ns / 1000),
+                  static_cast<unsigned long long>(s.start_ns % 1000),
+                  static_cast<unsigned long long>(s.duration_ns() / 1000),
+                  static_cast<unsigned long long>(s.duration_ns() % 1000));
+    out.append(buf);
+    out.append(",\"args\":{");
+    bool first_arg = true;
+    for (int c = 0; c < static_cast<int>(Counter::kNumCounters); ++c) {
+      uint64_t v = s.counters[static_cast<size_t>(c)];
+      if (v == 0) continue;
+      if (!first_arg) out.push_back(',');
+      first_arg = false;
+      AppendJsonString(CounterName(static_cast<Counter>(c)), &out);
+      std::snprintf(buf, sizeof(buf), ":%llu",
+                    static_cast<unsigned long long>(v));
+      out.append(buf);
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+TraceContext* CurrentTrace() { return g_current; }
+
+TraceScope::TraceScope(TraceContext* ctx) : prev_(g_current) {
+  g_current = ctx;
+}
+
+TraceScope::~TraceScope() { g_current = prev_; }
+
+}  // namespace trace
+}  // namespace relcont

@@ -4,10 +4,15 @@
 #include <vector>
 
 #include "containment/canonical.h"
+#include "containment/homomorphism.h"
 #include "datalog/parser.h"
+#include "relcont/relative_containment.h"
 #include "relcont/workload.h"
+#include "rewriting/inverse_rules.h"
+#include "rewriting/views.h"
 #include "service/protocol.h"
 #include "service/service.h"
+#include "trace/trace.h"
 
 namespace relcont {
 namespace {
@@ -471,7 +476,226 @@ TEST(MetricsTest, HistogramBucketsAndDump) {
   EXPECT_NE(dump.find("decisions_by_regime{section3} 2"),
             std::string::npos);
   EXPECT_NE(dump.find("cache_misses 3"), std::string::npos);
-  EXPECT_NE(dump.find("latency_us"), std::string::npos);
+  // Prometheus histogram conventions: cumulative le buckets ending at
+  // +Inf, plus the _sum/_count pair. Latencies: 0, 1, 5, 100.
+  EXPECT_NE(dump.find("latency_us_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us_bucket{le=\"7\"} 3"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us_bucket{le=\"127\"} 4"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(dump.find("latency_us_sum 106"), std::string::npos);
+  EXPECT_NE(dump.find("latency_us_count 4"), std::string::npos);
+  EXPECT_EQ(metrics.latency().SumMicros(), 106u);
+}
+
+TEST(MetricsTest, CumulativeBucketsAreMonotone) {
+  ServiceMetrics metrics;
+  for (uint64_t us : {0u, 3u, 3u, 17u, 90u, 5000u, 123456u}) {
+    metrics.RecordRequest(Regime::kSection3, us, false, false);
+  }
+  std::string dump = metrics.Dump(CacheStats{});
+  // Parse back every latency_us_bucket value; the sequence must be
+  // nondecreasing and end at the total count.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int buckets_seen = 0;
+  while ((pos = dump.find("latency_us_bucket{", pos)) != std::string::npos) {
+    size_t space = dump.find(' ', pos);
+    ASSERT_NE(space, std::string::npos);
+    uint64_t value = std::stoull(dump.substr(space + 1));
+    EXPECT_GE(value, prev);
+    prev = value;
+    ++buckets_seen;
+    pos = space;
+  }
+  EXPECT_EQ(buckets_seen, LatencyHistogram::kBuckets);
+  EXPECT_EQ(prev, 7u);
+}
+
+TEST(MetricsTest, SlowLogKeepsWorstTraces) {
+  ServiceMetrics metrics;
+  metrics.set_slow_log_capacity(2);
+  trace::TraceContext ctx;
+  int s = ctx.OpenSpan("decide");
+  ctx.CloseSpan(s);
+  metrics.RecordTrace(Regime::kSection3, 10, ctx, "fast");
+  metrics.RecordTrace(Regime::kSection3, 500, ctx, "slow");
+  metrics.RecordTrace(Regime::kSection3, 100, ctx, "medium");
+  metrics.RecordTrace(Regime::kSection3, 1, ctx, "fastest");
+  std::vector<SlowRequest> log = metrics.SlowLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].latency_micros, 500u);
+  EXPECT_EQ(log[0].description, "slow");
+  EXPECT_EQ(log[1].latency_micros, 100u);
+  EXPECT_NE(log[0].trace_text.find("decide"), std::string::npos);
+  std::string dump = metrics.Dump(CacheStats{});
+  EXPECT_NE(dump.find("slow_request{rank=0,latency_us=500"),
+            std::string::npos);
+}
+
+// --- tracing through the service --------------------------------------------
+
+class ServiceTraceTest : public ::testing::Test {
+ protected:
+  void RegisterCars(ContainmentService* service) {
+    Result<int64_t> v = service->catalogs().Register(
+        "cars",
+        "redcars(C, M, Y) :- cardesc(C, M, red, Y).\n"
+        "allcars(C, M, Col) :- cardesc(C, M, Col, Y).\n",
+        {});
+    ASSERT_TRUE(v.ok()) << v.status().ToString();
+  }
+
+  DecisionRequest CarRequest() {
+    DecisionRequest request;
+    request.q1_text = "q1(C) :- cardesc(C, M, red, Y).";
+    request.q2_text = "q2(C) :- cardesc(C, M, Col, Y).";
+    request.catalog = "cars";
+    request.bypass_cache = true;
+    request.collect_trace = true;
+    return request;
+  }
+};
+
+TEST_F(ServiceTraceTest, LatencyIsNonzeroAndConsistentWithTheTrace) {
+  ContainmentService service;
+  RegisterCars(&service);
+  WorkerContext ctx;
+  DecisionResponse response = service.Decide(CarRequest(), &ctx);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  // A non-trivial decision (parse + plan + containment check) cannot take
+  // zero time; steady_clock latencies are monotone so this is a hard floor.
+  EXPECT_GT(response.latency_micros, 0u);
+  ASSERT_NE(response.trace, nullptr);
+  if (trace::kCompiledIn) {
+    ASSERT_FALSE(response.trace->spans().empty());
+    // The decision span is timed by the same steady clock inside the
+    // request window, so it cannot exceed the request latency.
+    EXPECT_LE(response.trace->root_duration_ns() / 1000,
+              response.latency_micros);
+  }
+}
+
+TEST_F(ServiceTraceTest, TraceCountersMatchIndependentRecount) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "trace hooks compiled out";
+  ContainmentService service;
+  RegisterCars(&service);
+  WorkerContext ctx;
+  DecisionResponse response = service.Decide(CarRequest(), &ctx);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.trace, nullptr);
+  EXPECT_TRUE(response.contained);
+  EXPECT_EQ(response.regime, Regime::kSection3);
+
+  // Recount with direct library calls against a fresh interner: the
+  // service decision must have done exactly this work.
+  Interner interner;
+  ViewSet views = *ParseViews(
+      "redcars(C, M, Y) :- cardesc(C, M, red, Y).\n"
+      "allcars(C, M, Col) :- cardesc(C, M, Col, Y).\n",
+      &interner);
+  GoalQuery q1{*ParseProgram("q1(C) :- cardesc(C, M, red, Y).", &interner),
+               interner.Intern("q1")};
+  GoalQuery q2{*ParseProgram("q2(C) :- cardesc(C, M, Col, Y).", &interner),
+               interner.Intern("q2")};
+  Result<Program> p1 = MaximallyContainedPlan(q1.program, views, &interner);
+  Result<Program> p2 = MaximallyContainedPlan(q2.program, views, &interner);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  Result<UnionQuery> plan1 = PlanToUnion(*p1, q1.goal, views, &interner);
+  Result<UnionQuery> plan2 = PlanToUnion(*p2, q2.goal, views, &interner);
+  ASSERT_TRUE(plan1.ok() && plan2.ok());
+  EXPECT_EQ(response.trace->TotalCount(trace::Counter::kPlanDisjunctsKept),
+            plan1->disjuncts.size() + plan2->disjuncts.size());
+  uint64_t checks = 0;
+  uint64_t hom_calls = 0;
+  for (const Rule& d : plan1->disjuncts) {
+    for (const Rule& target : plan2->disjuncts) {
+      if (d.head.arity() != target.head.arity()) continue;
+      ++checks;
+      ++hom_calls;
+      if (FindContainmentMapping(target, d).has_value()) break;
+    }
+  }
+  EXPECT_EQ(response.trace->TotalCount(trace::Counter::kDisjunctChecks),
+            checks);
+  EXPECT_EQ(response.trace->TotalCount(trace::Counter::kHomMappingCalls),
+            hom_calls);
+}
+
+TEST_F(ServiceTraceTest, UntracedRequestsCarryNoTrace) {
+  ContainmentService service;
+  RegisterCars(&service);
+  WorkerContext ctx;
+  DecisionRequest request = CarRequest();
+  request.collect_trace = false;
+  DecisionResponse response = service.Decide(request, &ctx);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.trace, nullptr);
+  EXPECT_TRUE(service.metrics().SlowLog().empty());
+}
+
+TEST_F(ServiceTraceTest, ConcurrentTracedBatchIsConsistent) {
+  ServiceConfig config;
+  config.trace_requests = true;  // every worker traces, concurrently
+  config.slow_log_capacity = 3;
+  ContainmentService service(config);
+  RegisterCars(&service);
+  std::vector<DecisionRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    DecisionRequest request = CarRequest();
+    request.collect_trace = false;  // service-wide flag must cover this
+    request.bypass_cache = (i % 2 == 0);
+    requests.push_back(request);
+  }
+  std::vector<DecisionResponse> responses = service.ExecuteBatch(requests, 4);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (const DecisionResponse& r : responses) {
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.contained);
+    ASSERT_NE(r.trace, nullptr);
+  }
+  EXPECT_EQ(service.metrics().requests(), requests.size());
+  EXPECT_LE(service.metrics().SlowLog().size(), 3u);
+  if (trace::kCompiledIn) {
+    EXPECT_FALSE(service.metrics().SlowLog().empty());
+    // Every non-cache-hit decision opened exactly one "decide" span.
+    EXPECT_GE(service.metrics().PhaseCalls("decide"), 12u);
+    EXPECT_GT(service.metrics().PhaseNanos("decide"), 0u);
+    EXPECT_GT(service.metrics().RegimeCounterTotal(
+                  Regime::kSection3, trace::Counter::kHomMappingCalls),
+              0u);
+  }
+  std::string dump = service.metrics().Dump(service.cache().Stats());
+  EXPECT_NE(dump.find("latency_us_count 24"), std::string::npos);
+}
+
+TEST_F(ServiceTraceTest, ExplainVerbReturnsSpanTree) {
+  ContainmentService service;
+  ServerSession session(&service);
+  session.HandleLine("CATALOG c VIEW v(X) :- p(X, Y).");
+  session.HandleLine("DEFINE a a(X) :- p(X, Y).");
+  session.HandleLine("DEFINE b b(X) :- p(X, Z).");
+  std::string out = session.HandleLine("EXPLAIN a b @c");
+  EXPECT_EQ(out.rfind("YES section3 MISS", 0), 0u) << out;
+  if (trace::kCompiledIn) {
+    EXPECT_NE(out.find("decide"), std::string::npos) << out;
+    EXPECT_NE(out.find("containment_check"), std::string::npos) << out;
+    EXPECT_NE(out.find("hom_mapping_calls="), std::string::npos) << out;
+  }
+  std::string json_out = session.HandleLine("EXPLAIN JSON a b @c");
+  EXPECT_EQ(json_out.rfind("YES section3 MISS", 0), 0u) << json_out;
+  if (trace::kCompiledIn) {
+    EXPECT_NE(json_out.find("\"traceEvents\""), std::string::npos)
+        << json_out;
+  } else {
+    EXPECT_NE(json_out.find("compiled out"), std::string::npos) << json_out;
+  }
+  // EXPLAIN bypasses the cache, so a following CONTAINED? still misses.
+  EXPECT_EQ(session.HandleLine("EXPLAIN zzz b @c").rfind("ERR", 0), 0u);
+  session.HandleLine("BATCH BEGIN");
+  EXPECT_EQ(session.HandleLine("EXPLAIN a b @c").rfind("ERR", 0), 0u);
+  session.HandleLine("BATCH END");
 }
 
 }  // namespace
