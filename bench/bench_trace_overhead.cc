@@ -2,7 +2,8 @@
 // decision with (a) tracing disabled at runtime (no active TraceContext —
 // the cost every untraced caller pays for the hooks being present) and
 // (b) tracing enabled (a context installed, every span and counter
-// recorded). Writes BENCH_trace_overhead.json.
+// recorded). Writes BENCH_trace_overhead.json (relcont-bench-v1 schema —
+// see bench/harness.h). RELCONT_BENCH_SMOKE=1 shrinks reps to CI scale.
 //
 // The compiled-out claim ("a build with -DRELCONT_TRACE=0 is within 2% of
 // one with the hooks elided entirely") is established by running this same
@@ -17,6 +18,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
+
+#include "harness.h"
 
 #include "binding/adornment.h"
 #include "datalog/parser.h"
@@ -26,8 +30,8 @@
 namespace relcont {
 namespace {
 
-constexpr int kDecisionsPerRep = 200;
-constexpr int kReps = 12;  // interleaved disabled/enabled pairs
+int DecisionsPerRep() { return bench::ScaleIterations(200, 50); }
+int Reps() { return bench::ScaleIterations(12, 3); }  // interleaved pairs
 
 // One rep: fresh interner (DecideRelativeContainment mints fresh symbols,
 // so a shared interner would grow without bound and skew later reps),
@@ -45,7 +49,8 @@ uint64_t RunRep(bool traced, uint64_t* decisions_made) {
                interner.Intern("q2")};
 
   auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kDecisionsPerRep; ++i) {
+  const int decisions = DecisionsPerRep();
+  for (int i = 0; i < decisions; ++i) {
     if (traced) {
       trace::TraceContext ctx;
       trace::TraceScope scope(&ctx);
@@ -68,10 +73,12 @@ uint64_t RunRep(bool traced, uint64_t* decisions_made) {
 }
 
 int Main() {
+  const int reps = Reps();
+  const int decisions_per_rep = DecisionsPerRep();
   std::printf("bench_trace_overhead: trace hooks %s, %d reps x %d "
               "decisions per mode\n",
-              trace::kCompiledIn ? "compiled in" : "compiled out", kReps,
-              kDecisionsPerRep);
+              trace::kCompiledIn ? "compiled in" : "compiled out", reps,
+              decisions_per_rep);
 
   // Warm up both paths once, then take the best rep per mode — the minimum
   // is the least-noise estimate of the true cost.
@@ -81,17 +88,17 @@ int Main() {
 
   uint64_t best_disabled = UINT64_MAX;
   uint64_t best_traced = UINT64_MAX;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < reps; ++rep) {
     uint64_t made = 0;
     uint64_t ns = RunRep(false, &made);
-    if (ns == 0 || made != kDecisionsPerRep) {
+    if (ns == 0 || made != static_cast<uint64_t>(decisions_per_rep)) {
       std::fprintf(stderr, "disabled rep failed\n");
       return 1;
     }
     if (ns < best_disabled) best_disabled = ns;
     made = 0;
     ns = RunRep(true, &made);
-    if (ns == 0 || made != kDecisionsPerRep) {
+    if (ns == 0 || made != static_cast<uint64_t>(decisions_per_rep)) {
       std::fprintf(stderr, "traced rep failed\n");
       return 1;
     }
@@ -99,32 +106,26 @@ int Main() {
   }
 
   double disabled_ns_per_op =
-      static_cast<double>(best_disabled) / kDecisionsPerRep;
+      static_cast<double>(best_disabled) / decisions_per_rep;
   double traced_ns_per_op =
-      static_cast<double>(best_traced) / kDecisionsPerRep;
+      static_cast<double>(best_traced) / decisions_per_rep;
   double traced_overhead_pct =
       100.0 * (traced_ns_per_op - disabled_ns_per_op) / disabled_ns_per_op;
   std::printf("  disabled: %.0f ns/decision\n", disabled_ns_per_op);
   std::printf("  traced:   %.0f ns/decision (%+.1f%%)\n", traced_ns_per_op,
               traced_overhead_pct);
 
-  FILE* out = std::fopen("BENCH_trace_overhead.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_trace_overhead.json\n");
+  std::vector<bench::Metric> metrics;
+  metrics.push_back(
+      {"disabled_ns_per_decision", disabled_ns_per_op, "ns", false});
+  metrics.push_back({"traced_ns_per_decision", traced_ns_per_op, "ns",
+                     false});
+  metrics.push_back(
+      {"traced_overhead_pct", traced_overhead_pct, "%", false});
+  if (!bench::WriteBenchJson("BENCH_trace_overhead.json", "trace_overhead",
+                             metrics)) {
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"trace_overhead\",\n"
-               "  \"compiled_in\": %s,\n"
-               "  \"decisions_per_rep\": %d,\n  \"reps\": %d,\n"
-               "  \"disabled_ns_per_decision\": %.1f,\n"
-               "  \"traced_ns_per_decision\": %.1f,\n"
-               "  \"traced_overhead_pct\": %.2f\n}\n",
-               trace::kCompiledIn ? "true" : "false", kDecisionsPerRep,
-               kReps, disabled_ns_per_op, traced_ns_per_op,
-               traced_overhead_pct);
-  std::fclose(out);
-  std::printf("wrote BENCH_trace_overhead.json\n");
   return 0;
 }
 

@@ -1,0 +1,156 @@
+#ifndef RELCONT_BENCH_HARNESS_H_
+#define RELCONT_BENCH_HARNESS_H_
+
+// Shared scaffolding for the standalone bench binaries: smoke-mode
+// scaling, an environment fingerprint, order statistics over repeated
+// samples, and one JSON writer so every BENCH_<name>.json carries the
+// same `relcont-bench-v1` schema that tools/bench_compare consumes.
+//
+//   {
+//     "schema": "relcont-bench-v1",
+//     "name": "service_throughput",
+//     "env": {"compiler": "...", "build_type": "Release",
+//             "trace_compiled_in": true, "hardware_threads": 8,
+//             "smoke": false},
+//     "metrics": [
+//       {"name": "warm_8t_req_per_sec", "value": 51234.0,
+//        "unit": "req/s", "higher_is_better": true}, ...
+//     ]
+//   }
+//
+// Smoke mode (RELCONT_BENCH_SMOKE=1) shrinks iteration counts so the
+// whole suite runs in CI seconds; absolute numbers from a smoke run are
+// only comparable to other smoke runs on the same class of machine —
+// which is exactly what the CI regression gate does.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace relcont {
+namespace bench {
+
+inline bool SmokeMode() {
+  const char* value = std::getenv("RELCONT_BENCH_SMOKE");
+  return value != nullptr && *value != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+/// `full` iterations normally, `smoke` under RELCONT_BENCH_SMOKE.
+inline int ScaleIterations(int full, int smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+struct EnvFingerprint {
+  std::string compiler;
+  std::string build_type;
+  bool trace_compiled_in = false;
+  unsigned hardware_threads = 0;
+  bool smoke = false;
+};
+
+inline EnvFingerprint Fingerprint() {
+  EnvFingerprint env;
+#if defined(__clang__)
+  env.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  env.compiler = std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                 std::to_string(__GNUC_MINOR__) + "." +
+                 std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  env.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  env.build_type = "Release";
+#else
+  env.build_type = "Debug";
+#endif
+  env.trace_compiled_in = trace::kCompiledIn;
+  env.hardware_threads = std::thread::hardware_concurrency();
+  env.smoke = SmokeMode();
+  return env;
+}
+
+/// Repeated measurements of one quantity; order statistics interpolate
+/// nothing (they pick actual samples) so small rep counts stay honest.
+struct Samples {
+  std::vector<double> values;
+
+  void Add(double v) { values.push_back(v); }
+
+  double Min() const {
+    return values.empty()
+               ? 0
+               : *std::min_element(values.begin(), values.end());
+  }
+  double Median() const { return Quantile(0.5); }
+  double P95() const { return Quantile(0.95); }
+
+  double Quantile(double q) const {
+    if (values.empty()) return 0;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    size_t index = static_cast<size_t>(q * (sorted.size() - 1) + 0.5);
+    return sorted[std::min(index, sorted.size() - 1)];
+  }
+};
+
+struct Metric {
+  std::string name;
+  double value = 0;
+  std::string unit;
+  /// Direction of goodness — bench_compare flags a regression only when
+  /// the current value is worse in this direction.
+  bool higher_is_better = true;
+};
+
+/// Writes `path` in the relcont-bench-v1 schema. Returns false (and
+/// prints to stderr) when the file cannot be written.
+inline bool WriteBenchJson(const std::string& path, const std::string& name,
+                           const std::vector<Metric>& metrics) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  EnvFingerprint env = Fingerprint();
+  std::fprintf(out,
+               "{\n"
+               "  \"schema\": \"relcont-bench-v1\",\n"
+               "  \"name\": \"%s\",\n"
+               "  \"env\": {\n"
+               "    \"compiler\": \"%s\",\n"
+               "    \"build_type\": \"%s\",\n"
+               "    \"trace_compiled_in\": %s,\n"
+               "    \"hardware_threads\": %u,\n"
+               "    \"smoke\": %s\n"
+               "  },\n"
+               "  \"metrics\": [\n",
+               name.c_str(), env.compiler.c_str(), env.build_type.c_str(),
+               env.trace_compiled_in ? "true" : "false",
+               env.hardware_threads, env.smoke ? "true" : "false");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                 "\"higher_is_better\": %s}%s\n",
+                 m.name.c_str(), m.value, m.unit.c_str(),
+                 m.higher_is_better ? "true" : "false",
+                 i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace relcont
+
+#endif  // RELCONT_BENCH_HARNESS_H_

@@ -1,59 +1,176 @@
-// The containment-decision server: speaks the line-delimited protocol of
-// docs/SERVICE.md over stdin/stdout. Each line is one request; responses
-// are line-delimited too, so the binary composes with pipes, netcat-style
-// wrappers, and test harnesses.
+// The containment-decision server. Two transports share one service:
+//
+//   * stdin/stdout (default): each line is one request of the protocol in
+//     docs/SERVICE.md, so the binary composes with pipes and harnesses.
+//   * TCP (--port N): a listener that runs one protocol session per
+//     connection and additionally answers HTTP GETs — /metrics (Prometheus
+//     text exposition), /healthz, /buildz. SIGINT/SIGTERM shut it down
+//     gracefully (live sessions are drained before exit).
 //
 //   $ ./build/examples/relcont_serve
 //   > CATALOG cars VIEW redcars(C, M, Y) :- cardesc(C, M, red, Y).
 //   OK catalog cars v1 views=1 patterns=0
 //   > DEFINE q1 q1(C) :- cardesc(C, M, Col, Y).
 //   OK query q1 rules=1
-//   > DEFINE q2 q2(C) :- cardesc(C, M, red, Y).
-//   OK query q2 rules=1
-//   > CONTAINED? q2 q1 @cars
+//   > CONTAINED? q1 q1 @cars
 //   YES section3 MISS 184us
-//   > CONTAINED? q2 q1 @cars
-//   YES section3 HIT 2us
+//
+//   $ ./build/examples/relcont_serve --port 8080 &
+//   $ curl -s localhost:8080/metrics | head
 //
 // Flags:
-//   --batch        suppress the prompt (for piped input)
-//   --threads N    fan-out width for BATCH BEGIN/END groups (default 4)
-//   --cache N      decision-cache capacity in entries (default 4096)
-//   --trace        trace every request into the METRICS aggregates
-//   --slow-log N   keep the N worst traced requests for METRICS (default 4)
+//   --batch            suppress the prompt (for piped input)
+//   --threads N        fan-out width for BATCH BEGIN/END groups (default 4)
+//   --cache N          decision-cache capacity in entries (default 4096)
+//   --trace            trace every request into the METRICS aggregates
+//   --slow-log N       keep the N worst traced requests (default 4)
+//   --port N           serve TCP + HTTP on port N instead of stdin/stdout
+//   --access-log FILE  append one JSONL event per decision to FILE
+//   --log-sample R     log every R-th decision only (default 1 = all)
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/access_log.h"
+#include "obs/server.h"
 #include "service/protocol.h"
+
+namespace {
+
+relcont::obs::ObsServer* g_server = nullptr;
+
+void HandleSignal(int /*signum*/) {
+  // Async-signal-safe: Shutdown is an atomic store plus shutdown(2).
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: relcont_serve [--batch] [--threads N] [--cache N] "
+               "[--trace] [--slow-log N]\n"
+               "                     [--port N] [--access-log FILE] "
+               "[--log-sample R]\n");
+  return 2;
+}
+
+/// Strict positive-integer flag parsing: the whole token must be digits
+/// and the value must be in [min, max]. atoi-style garbage ("4x", "", "-2")
+/// is a usage error, not a silent zero.
+bool ParseIntFlag(const char* flag, const char* text, long long min,
+                  long long max, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || value < min ||
+      value > max) {
+    std::fprintf(stderr, "relcont_serve: %s needs an integer in [%lld, %lld], "
+                 "got '%s'\n", flag, min, max, text);
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool interactive = true;
-  int threads = 4;
+  long long threads = 4;
+  long long port = -1;  // -1 = stdio mode
+  std::string access_log_path;
+  long long log_sample = 1;
   relcont::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--batch") == 0) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--batch") == 0) {
       interactive = false;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
-      config.cache_capacity = static_cast<size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
+    } else if (std::strcmp(arg, "--trace") == 0) {
       config.trace_requests = true;
-    } else if (std::strcmp(argv[i], "--slow-log") == 0 && i + 1 < argc) {
-      config.slow_log_capacity = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      if (!ParseIntFlag(arg, value, 1, 1024, &threads)) return Usage();
+      ++i;
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      long long cache = 0;
+      if (!ParseIntFlag(arg, value, 1, 1LL << 30, &cache)) return Usage();
+      config.cache_capacity = static_cast<size_t>(cache);
+      ++i;
+    } else if (std::strcmp(arg, "--slow-log") == 0) {
+      long long slow = 0;
+      if (!ParseIntFlag(arg, value, 1, 1LL << 20, &slow)) return Usage();
+      config.slow_log_capacity = static_cast<size_t>(slow);
+      ++i;
+    } else if (std::strcmp(arg, "--port") == 0) {
+      if (!ParseIntFlag(arg, value, 1, 65535, &port)) return Usage();
+      ++i;
+    } else if (std::strcmp(arg, "--access-log") == 0) {
+      if (value == nullptr || *value == '\0') return Usage();
+      access_log_path = value;
+      ++i;
+    } else if (std::strcmp(arg, "--log-sample") == 0) {
+      if (!ParseIntFlag(arg, value, 1, 1LL << 30, &log_sample)) return Usage();
+      ++i;
     } else {
-      std::fprintf(stderr,
-                   "usage: relcont_serve [--batch] [--threads N] [--cache N] "
-                   "[--trace] [--slow-log N]\n");
-      return 2;
+      return Usage();
     }
   }
+
   relcont::ContainmentService service(config);
-  relcont::ServerSession session(&service, threads);
+
+  std::unique_ptr<relcont::obs::AccessLog> access_log;
+  if (!access_log_path.empty()) {
+    relcont::obs::AccessLogOptions log_options;
+    log_options.path = access_log_path;
+    log_options.sample = static_cast<uint64_t>(log_sample);
+    auto opened = relcont::obs::AccessLog::Open(std::move(log_options));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "relcont_serve: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    access_log = std::move(*opened);
+  }
+
+  if (port >= 0) {
+    relcont::obs::ServerOptions server_options;
+    server_options.port = static_cast<int>(port);
+    server_options.batch_threads = static_cast<int>(threads);
+    server_options.access_log = access_log.get();
+    relcont::obs::ObsServer server(&service, server_options);
+    relcont::Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "relcont_serve: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    g_server = &server;
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    std::fprintf(stderr,
+                 "relcont_serve: listening on port %d "
+                 "(protocol over TCP; GET /metrics /healthz /buildz)\n",
+                 server.port());
+    server.Serve();
+    g_server = nullptr;
+    std::fprintf(stderr, "relcont_serve: shut down\n");
+    return 0;
+  }
+
+  relcont::ServerSession session(&service, static_cast<int>(threads));
+  if (access_log != nullptr) {
+    relcont::obs::AccessLog* log = access_log.get();
+    session.set_decision_observer(
+        [log](const relcont::DecisionRequest& request,
+              const relcont::DecisionResponse& response) {
+          log->Record(request, response);
+        });
+  }
   if (interactive) {
     std::printf("relcont serve — HELP for the protocol\n> ");
   }

@@ -1,0 +1,57 @@
+#ifndef RELCONT_COMMON_JSON_H_
+#define RELCONT_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relcont {
+namespace json {
+
+/// A minimal JSON toolkit shared by every component that emits or consumes
+/// JSON — the Chrome trace exporter, the access log, the bench JSON schema,
+/// and bench_compare. Having exactly one escaper (and one parser to verify
+/// round trips in tests) keeps the emitters from drifting apart.
+
+/// Appends `s` to `out` as a quoted JSON string, escaping quotes,
+/// backslashes, and control characters (as \uXXXX).
+void AppendEscaped(std::string_view s, std::string* out);
+
+/// The quoted, escaped JSON form of `s`.
+std::string Escaped(std::string_view s);
+
+/// A parsed JSON value. Numbers are held as doubles (adequate for bench
+/// metrics and log fields; exact 64-bit integers above 2^53 are not a use
+/// case here). Object members preserve source order and may repeat.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_bool() const { return type == Type::kBool; }
+
+  /// First member named `key`, or nullptr (objects only).
+  const Value* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace relcont
+
+#endif  // RELCONT_COMMON_JSON_H_

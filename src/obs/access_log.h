@@ -1,0 +1,74 @@
+#ifndef RELCONT_OBS_ACCESS_LOG_H_
+#define RELCONT_OBS_ACCESS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "service/service.h"
+
+namespace relcont {
+namespace obs {
+
+struct AccessLogOptions {
+  std::string path;
+  /// Log one of every `sample` requests (1 = every request). Sampling is
+  /// deterministic on the monotonic request id, so a given id is either
+  /// always logged or never — reruns of a workload produce the same ids
+  /// in the log.
+  uint64_t sample = 1;
+  /// Rotate when the current file would exceed this many bytes: the file
+  /// is renamed to `<path>.1` (replacing any previous rotation) and a
+  /// fresh file is opened. Two generations bound disk usage at ~2x.
+  uint64_t max_bytes = 64ull << 20;
+};
+
+/// A structured JSONL access log: one JSON object per line, one line per
+/// containment decision (schema in docs/OBSERVABILITY.md). Writes are
+/// mutex-serialized and flushed per line; the expensive part of a decision
+/// dwarfs the logging cost, and sampling exists for workloads where it
+/// does not. Thread-safe — one instance is shared by every session.
+class AccessLog {
+ public:
+  /// Opens (appends to) `options.path`.
+  static Result<std::unique_ptr<AccessLog>> Open(AccessLogOptions options);
+
+  ~AccessLog();
+
+  /// Assigns the next monotonic request id and, if the id is sampled,
+  /// writes one event line. Matches the DecisionObserver signature.
+  void Record(const DecisionRequest& request,
+              const DecisionResponse& response);
+
+  /// Total requests seen (logged or sampled away).
+  uint64_t requests_seen() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+
+  /// Renders the event line (no trailing newline) exactly as Record writes
+  /// it, with the given id and timestamp. Exposed for tests.
+  static std::string RenderEvent(uint64_t id, int64_t unix_micros,
+                                 const DecisionRequest& request,
+                                 const DecisionResponse& response);
+
+ private:
+  explicit AccessLog(AccessLogOptions options, std::FILE* file,
+                     uint64_t initial_bytes);
+
+  void RotateLocked();
+
+  AccessLogOptions options_;
+  std::atomic<uint64_t> next_id_{1};
+  std::mutex mu_;
+  std::FILE* file_;       // guarded by mu_
+  uint64_t bytes_ = 0;    // size of the current file, guarded by mu_
+};
+
+}  // namespace obs
+}  // namespace relcont
+
+#endif  // RELCONT_OBS_ACCESS_LOG_H_

@@ -1,0 +1,241 @@
+#include "obs/exposition.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace relcont {
+namespace obs {
+
+namespace {
+
+void AppendLine(std::string* out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string* out, const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list sizing;
+  va_copy(sizing, args);
+  int needed = std::vsnprintf(nullptr, 0, format, sizing);
+  va_end(sizing);
+  if (needed > 0) {
+    size_t old_size = out->size();
+    out->resize(old_size + static_cast<size_t>(needed) + 1);
+    std::vsnprintf(out->data() + old_size,
+                   static_cast<size_t>(needed) + 1, format, args);
+    out->resize(old_size + static_cast<size_t>(needed));
+  }
+  va_end(args);
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string LabelEscaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+unsigned long long ULL(uint64_t v) {
+  return static_cast<unsigned long long>(v);
+}
+
+}  // namespace
+
+std::string RenderMetricsText(const MetricsSnapshot& s) {
+  std::string out;
+  AppendLine(&out, "library_version %s\n", s.version.c_str());
+  AppendLine(&out, "start_time_unix_seconds %lld\n",
+             static_cast<long long>(s.start_time_unix_seconds));
+  AppendLine(&out, "uptime_seconds %.3f\n", s.uptime_seconds);
+  AppendLine(&out, "requests_total %llu\nerrors_total %llu\n",
+             ULL(s.requests), ULL(s.errors));
+  AppendLine(&out, "request_cache_hits %llu\n", ULL(s.request_cache_hits));
+  for (const RegimeDecisions& regime : s.decisions_by_regime) {
+    AppendLine(&out, "decisions_by_regime{%s} %llu\n", regime.regime.c_str(),
+               ULL(regime.count));
+  }
+  AppendLine(&out,
+             "cache_hits %llu\ncache_misses %llu\ncache_evictions "
+             "%llu\ncache_entries %llu\n",
+             ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
+             ULL(s.cache.entries));
+  for (const HistogramBucket& bucket : s.latency_buckets) {
+    if (bucket.unbounded) {
+      AppendLine(&out, "latency_us_bucket{le=\"+Inf\"} %llu\n",
+                 ULL(bucket.cumulative_count));
+    } else {
+      AppendLine(&out, "latency_us_bucket{le=\"%llu\"} %llu\n",
+                 ULL(bucket.le), ULL(bucket.cumulative_count));
+    }
+  }
+  AppendLine(&out, "latency_us_sum %llu\nlatency_us_count %llu\n",
+             ULL(s.latency_sum_micros), ULL(s.latency_count));
+  for (const TraceCounterTotal& t : s.trace_counter_totals) {
+    AppendLine(&out,
+               "trace_counter_total{regime=\"%s\",counter=\"%s\"} %llu\n",
+               t.regime.c_str(), t.counter.c_str(), ULL(t.total));
+  }
+  for (const PhaseSnapshot& phase : s.phases) {
+    AppendLine(&out,
+               "trace_phase_ns{phase=\"%s\"} %llu\n"
+               "trace_phase_calls{phase=\"%s\"} %llu\n",
+               phase.name.c_str(), ULL(phase.ns), phase.name.c_str(),
+               ULL(phase.calls));
+  }
+  for (size_t i = 0; i < s.slow_log.size(); ++i) {
+    const SlowEntry& slow = s.slow_log[i];
+    AppendLine(&out, "slow_request{rank=%llu,latency_us=%llu,regime=\"%s\"} ",
+               ULL(i), ULL(slow.latency_micros), slow.regime.c_str());
+    out += slow.description;
+    out += '\n';
+    // The span tree, indented so a scraper can skip continuation lines.
+    size_t begin = 0;
+    while (begin < slow.trace_text.size()) {
+      size_t end = slow.trace_text.find('\n', begin);
+      if (end == std::string::npos) end = slow.trace_text.size();
+      out += "    ";
+      out.append(slow.trace_text, begin, end - begin);
+      out += '\n';
+      begin = end + 1;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& s) {
+  std::string out;
+  AppendLine(&out,
+             "# HELP relcont_build_info Build identity of the containment "
+             "service (value is always 1).\n"
+             "# TYPE relcont_build_info gauge\n"
+             "relcont_build_info{version=\"%s\",trace=\"%s\"} 1\n",
+             LabelEscaped(s.version).c_str(),
+             s.trace_compiled_in ? "on" : "off");
+  AppendLine(&out,
+             "# HELP relcont_start_time_seconds Unix time the service "
+             "started.\n"
+             "# TYPE relcont_start_time_seconds gauge\n"
+             "relcont_start_time_seconds %lld\n",
+             static_cast<long long>(s.start_time_unix_seconds));
+  AppendLine(&out,
+             "# HELP relcont_uptime_seconds Seconds since service start.\n"
+             "# TYPE relcont_uptime_seconds gauge\n"
+             "relcont_uptime_seconds %.3f\n",
+             s.uptime_seconds);
+  AppendLine(&out,
+             "# HELP relcont_requests_total Containment requests answered "
+             "(including errors).\n"
+             "# TYPE relcont_requests_total counter\n"
+             "relcont_requests_total %llu\n",
+             ULL(s.requests));
+  AppendLine(&out,
+             "# HELP relcont_errors_total Requests answered with a non-OK "
+             "status.\n"
+             "# TYPE relcont_errors_total counter\n"
+             "relcont_errors_total %llu\n",
+             ULL(s.errors));
+  AppendLine(&out,
+             "# HELP relcont_request_cache_hits_total Requests served from "
+             "the decision cache.\n"
+             "# TYPE relcont_request_cache_hits_total counter\n"
+             "relcont_request_cache_hits_total %llu\n",
+             ULL(s.request_cache_hits));
+  out +=
+      "# HELP relcont_decisions_total Decisions per paper regime.\n"
+      "# TYPE relcont_decisions_total counter\n";
+  for (const RegimeDecisions& regime : s.decisions_by_regime) {
+    AppendLine(&out, "relcont_decisions_total{regime=\"%s\"} %llu\n",
+               LabelEscaped(regime.regime).c_str(), ULL(regime.count));
+  }
+  AppendLine(&out,
+             "# HELP relcont_cache_hits_total Decision-cache lookup hits.\n"
+             "# TYPE relcont_cache_hits_total counter\n"
+             "relcont_cache_hits_total %llu\n"
+             "# HELP relcont_cache_misses_total Decision-cache lookup "
+             "misses.\n"
+             "# TYPE relcont_cache_misses_total counter\n"
+             "relcont_cache_misses_total %llu\n"
+             "# HELP relcont_cache_evictions_total LRU evictions from the "
+             "decision cache.\n"
+             "# TYPE relcont_cache_evictions_total counter\n"
+             "relcont_cache_evictions_total %llu\n"
+             "# HELP relcont_cache_entries Entries currently resident in "
+             "the decision cache.\n"
+             "# TYPE relcont_cache_entries gauge\n"
+             "relcont_cache_entries %llu\n",
+             ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
+             ULL(s.cache.entries));
+  out +=
+      "# HELP relcont_request_latency_microseconds Request latency "
+      "(cumulative power-of-two buckets).\n"
+      "# TYPE relcont_request_latency_microseconds histogram\n";
+  for (const HistogramBucket& bucket : s.latency_buckets) {
+    if (bucket.unbounded) {
+      AppendLine(&out,
+                 "relcont_request_latency_microseconds_bucket{le=\"+Inf\"} "
+                 "%llu\n",
+                 ULL(bucket.cumulative_count));
+    } else {
+      AppendLine(&out,
+                 "relcont_request_latency_microseconds_bucket{le=\"%llu\"} "
+                 "%llu\n",
+                 ULL(bucket.le), ULL(bucket.cumulative_count));
+    }
+  }
+  AppendLine(&out,
+             "relcont_request_latency_microseconds_sum %llu\n"
+             "relcont_request_latency_microseconds_count %llu\n",
+             ULL(s.latency_sum_micros), ULL(s.latency_count));
+  if (!s.trace_counter_totals.empty()) {
+    out +=
+        "# HELP relcont_trace_counter_total Trace counter totals per "
+        "regime (see docs/OBSERVABILITY.md for the glossary).\n"
+        "# TYPE relcont_trace_counter_total counter\n";
+    for (const TraceCounterTotal& t : s.trace_counter_totals) {
+      AppendLine(&out,
+                 "relcont_trace_counter_total{regime=\"%s\",counter=\"%s\"} "
+                 "%llu\n",
+                 LabelEscaped(t.regime).c_str(),
+                 LabelEscaped(t.counter).c_str(), ULL(t.total));
+    }
+  }
+  if (!s.phases.empty()) {
+    out +=
+        "# HELP relcont_trace_phase_nanoseconds_total Cumulative time per "
+        "pipeline phase across recorded traces.\n"
+        "# TYPE relcont_trace_phase_nanoseconds_total counter\n";
+    for (const PhaseSnapshot& phase : s.phases) {
+      AppendLine(&out,
+                 "relcont_trace_phase_nanoseconds_total{phase=\"%s\"} %llu\n",
+                 LabelEscaped(phase.name).c_str(), ULL(phase.ns));
+    }
+    out +=
+        "# HELP relcont_trace_phase_calls_total Recorded spans per "
+        "pipeline phase.\n"
+        "# TYPE relcont_trace_phase_calls_total counter\n";
+    for (const PhaseSnapshot& phase : s.phases) {
+      AppendLine(&out,
+                 "relcont_trace_phase_calls_total{phase=\"%s\"} %llu\n",
+                 LabelEscaped(phase.name).c_str(), ULL(phase.calls));
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace relcont

@@ -1,0 +1,95 @@
+#ifndef RELCONT_OBS_EXPOSITION_H_
+#define RELCONT_OBS_EXPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/decision_cache.h"
+
+namespace relcont {
+namespace obs {
+
+/// relcont::obs — networked telemetry for the containment service (see
+/// docs/OBSERVABILITY.md). This header defines the one snapshot type both
+/// metric surfaces render from: the METRICS protocol verb and the
+/// Prometheus `/metrics` endpoint serialize the same MetricsSnapshot, so
+/// their counters cannot drift apart.
+
+/// Cumulative per-phase timer, aggregated over every recorded trace.
+struct PhaseSnapshot {
+  std::string name;
+  uint64_t ns = 0;
+  uint64_t calls = 0;
+};
+
+/// Decisions attributed to one regime (only nonzero regimes appear).
+struct RegimeDecisions {
+  std::string regime;
+  uint64_t count = 0;
+};
+
+/// Total of one trace counter across every trace recorded under a regime.
+struct TraceCounterTotal {
+  std::string regime;
+  std::string counter;
+  uint64_t total = 0;
+};
+
+/// One cumulative latency-histogram bucket, Prometheus style: the count of
+/// requests with latency <= `le` microseconds (`unbounded` marks +Inf).
+struct HistogramBucket {
+  bool unbounded = false;
+  uint64_t le = 0;
+  uint64_t cumulative_count = 0;
+};
+
+/// One slow-log entry (worst traced requests, worst first).
+struct SlowEntry {
+  uint64_t latency_micros = 0;
+  std::string regime;
+  std::string description;
+  std::string trace_text;
+};
+
+/// A point-in-time copy of every service counter plus build/uptime
+/// identity. Plain data: renderers need nothing beyond this struct.
+struct MetricsSnapshot {
+  std::string version;
+  bool trace_compiled_in = false;
+  int64_t start_time_unix_seconds = 0;
+  double uptime_seconds = 0;
+
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  /// Cache hits observed at the request level (a subset of cache.hits,
+  /// which also counts probes made outside Decide).
+  uint64_t request_cache_hits = 0;
+  std::vector<RegimeDecisions> decisions_by_regime;
+  CacheStats cache;
+
+  std::vector<HistogramBucket> latency_buckets;
+  uint64_t latency_sum_micros = 0;
+  uint64_t latency_count = 0;
+
+  std::vector<TraceCounterTotal> trace_counter_totals;
+  std::vector<PhaseSnapshot> phases;
+  std::vector<SlowEntry> slow_log;
+};
+
+/// The METRICS verb rendering: the line-oriented text dump served over the
+/// protocol (and historically by ServiceMetrics::Dump, which now forwards
+/// here).
+std::string RenderMetricsText(const MetricsSnapshot& snapshot);
+
+/// The Prometheus text exposition (format version 0.0.4) served by
+/// `GET /metrics`: `# HELP`/`# TYPE` headers, `relcont_`-prefixed series,
+/// escaped label values, the cumulative `le` histogram, and a
+/// `relcont_build_info` identity gauge. The slow log is omitted — it is
+/// free-form text, not a numeric series.
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace relcont
+
+#endif  // RELCONT_OBS_EXPOSITION_H_

@@ -1,0 +1,130 @@
+#include "obs/http.h"
+
+#include <cctype>
+
+namespace relcont {
+namespace obs {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string HttpRequest::path() const {
+  size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [header, value] : headers) {
+    if (header == name) return &value;
+  }
+  return nullptr;
+}
+
+bool LooksLikeHttp(std::string_view first_line) {
+  // "<METHOD> <target> HTTP/x.y" — the trailing version token is the
+  // discriminator; no containment-protocol line ends with one.
+  size_t pos = first_line.rfind(" HTTP/");
+  if (pos == std::string_view::npos) return false;
+  static constexpr std::string_view kMethods[] = {
+      "GET ", "HEAD ", "POST ", "PUT ", "DELETE ", "OPTIONS ", "PATCH "};
+  for (std::string_view method : kMethods) {
+    if (first_line.substr(0, method.size()) == method) return true;
+  }
+  return false;
+}
+
+Result<HttpRequest> ParseHttpRequest(std::string_view head) {
+  HttpRequest request;
+  size_t line_end = head.find('\n');
+  std::string_view request_line =
+      TrimSpace(head.substr(0, line_end));
+  size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) {
+    return Status::InvalidArgument("http: malformed request line");
+  }
+  size_t target_end = request_line.find(' ', method_end + 1);
+  if (target_end == std::string_view::npos) {
+    return Status::InvalidArgument("http: request line missing version");
+  }
+  request.method = std::string(request_line.substr(0, method_end));
+  request.target = std::string(
+      request_line.substr(method_end + 1, target_end - method_end - 1));
+  request.version = std::string(request_line.substr(target_end + 1));
+  if (request.target.empty() || request.target[0] != '/') {
+    return Status::InvalidArgument("http: target must be origin-form");
+  }
+  if (request.version.substr(0, 5) != "HTTP/") {
+    return Status::InvalidArgument("http: bad version token");
+  }
+  while (line_end != std::string_view::npos) {
+    size_t begin = line_end + 1;
+    line_end = head.find('\n', begin);
+    std::string_view line = TrimSpace(head.substr(
+        begin, line_end == std::string_view::npos ? std::string_view::npos
+                                                  : line_end - begin));
+    if (line.empty()) break;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("http: header line missing ':'");
+    }
+    request.headers.emplace_back(
+        ToLower(TrimSpace(line.substr(0, colon))),
+        std::string(TrimSpace(line.substr(colon + 1))));
+  }
+  return request;
+}
+
+std::string_view HttpReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool head_only) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += HttpReason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  if (!head_only) out += body;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace relcont

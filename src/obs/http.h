@@ -1,0 +1,53 @@
+#ifndef RELCONT_OBS_HTTP_H_
+#define RELCONT_OBS_HTTP_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relcont {
+namespace obs {
+
+/// A minimal, dependency-free HTTP/1.1 server-side message layer — just
+/// enough for a scraper (`curl`, Prometheus) to GET /metrics, /healthz,
+/// and /buildz from the containment server. No bodies are read (the
+/// endpoints are all GET/HEAD), no chunked encoding, no keep-alive: every
+/// response carries `Connection: close`.
+
+struct HttpRequest {
+  std::string method;   // as sent ("GET", "HEAD", ...)
+  std::string target;   // path + optional query, e.g. "/metrics"
+  std::string version;  // "HTTP/1.1"
+  /// Header (name, value) pairs in arrival order; names lowercased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// Path portion of the target (query string stripped).
+  std::string path() const;
+  /// First header named `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+/// True when `first_line` looks like an HTTP request line rather than a
+/// containment-protocol verb — used by the server to decide how to speak
+/// on a freshly accepted connection.
+bool LooksLikeHttp(std::string_view first_line);
+
+/// Parses a request head: the request line plus headers, up to (not
+/// including) the blank line. Line endings may be CRLF or bare LF.
+Result<HttpRequest> ParseHttpRequest(std::string_view head);
+
+/// Renders a complete response with Content-Length and Connection: close.
+/// `head_only` elides the body (HEAD requests) but keeps the headers.
+std::string RenderHttpResponse(int status, std::string_view content_type,
+                               std::string_view body, bool head_only = false);
+
+/// The canonical reason phrase for `status` ("OK", "Not Found", ...).
+std::string_view HttpReason(int status);
+
+}  // namespace obs
+}  // namespace relcont
+
+#endif  // RELCONT_OBS_HTTP_H_

@@ -1,0 +1,90 @@
+#ifndef RELCONT_OBS_SERVER_H_
+#define RELCONT_OBS_SERVER_H_
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/access_log.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace relcont {
+namespace obs {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 asks the kernel for an ephemeral port (read
+  /// it back with port() after Start — the test harness does).
+  int port = 0;
+  /// Fan-out width of BATCH END inside each protocol session.
+  int batch_threads = 4;
+  /// Optional shared access log (not owned); every session's decisions
+  /// are recorded through it.
+  AccessLog* access_log = nullptr;
+};
+
+/// The networked front end of the containment service: one TCP listener
+/// that speaks two dialects, distinguished by the first line a client
+/// sends.
+///
+///   * A containment-protocol line (CATALOG, DEFINE, CONTAINED?, ...)
+///     turns the connection into a long-lived protocol session — one
+///     ServerSession per connection, so DEFINEs are session-local and
+///     many clients run concurrently against the shared service.
+///   * An HTTP request line serves one observability request and closes:
+///     GET /metrics (Prometheus text exposition, rendered from the same
+///     MetricsSnapshot as the METRICS verb), GET /healthz, GET /buildz.
+///
+/// Lifecycle: Start() binds and listens; Serve() blocks accepting
+/// connections until Shutdown() (async-signal-safe: callable from a
+/// SIGINT/SIGTERM handler) closes the listener; Serve() then shuts down
+/// every live connection and joins all session threads before returning.
+class ObsServer {
+ public:
+  ObsServer(ContainmentService* service, ServerOptions options);
+  ~ObsServer();
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// Binds and listens. After this, port() is the actual bound port.
+  Status Start();
+  int port() const { return port_; }
+
+  /// Accept loop; blocks until Shutdown. One thread per connection.
+  void Serve();
+
+  /// Stops the accept loop. Async-signal-safe (an atomic store and a
+  /// shutdown(2) on the listening socket).
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
+  void HandleConnection(Connection* conn);
+  void ServeHttp(int fd, const std::string& head);
+  std::string BuildzJson() const;
+  /// Joins finished connection threads; `all` waits for the rest too.
+  void ReapConnections(bool all);
+
+  ContainmentService* service_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace obs
+}  // namespace relcont
+
+#endif  // RELCONT_OBS_SERVER_H_

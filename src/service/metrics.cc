@@ -1,7 +1,9 @@
 #include "service/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <chrono>
+
+#include "relcont/version.h"
 
 namespace relcont {
 
@@ -62,10 +64,12 @@ void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
   entry.description = std::move(description);
   entry.trace_text = trace.ToText();
   slow_log_.push_back(std::move(entry));
-  std::sort(slow_log_.begin(), slow_log_.end(),
-            [](const SlowRequest& a, const SlowRequest& b) {
-              return a.latency_micros > b.latency_micros;
-            });
+  // Stable: requests with equal latency keep their arrival order, so ties
+  // at the cutoff are broken deterministically (earliest recorded wins).
+  std::stable_sort(slow_log_.begin(), slow_log_.end(),
+                   [](const SlowRequest& a, const SlowRequest& b) {
+                     return a.latency_micros > b.latency_micros;
+                   });
   if (slow_log_.size() > slow_log_capacity_) {
     slow_log_.resize(slow_log_capacity_);
   }
@@ -94,110 +98,70 @@ void ServiceMetrics::set_slow_log_capacity(size_t capacity) {
   if (slow_log_.size() > capacity) slow_log_.resize(capacity);
 }
 
-std::string ServiceMetrics::Dump(const CacheStats& cache) const {
-  char line[256];
-  std::string out;
-  std::snprintf(line, sizeof(line),
-                "requests_total %llu\nerrors_total %llu\n",
-                static_cast<unsigned long long>(requests()),
-                static_cast<unsigned long long>(errors()));
-  out += line;
+obs::MetricsSnapshot ServiceMetrics::Snapshot(const CacheStats& cache) const {
+  obs::MetricsSnapshot s;
+  s.version = kVersionString;
+  s.trace_compiled_in = trace::kCompiledIn;
+  s.start_time_unix_seconds = start_unix_seconds_;
+  s.uptime_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_steady_)
+                         .count();
+
+  s.requests = requests();
+  s.errors = errors();
+  s.request_cache_hits = cache_hits();
   for (int i = 0; i < kNumRegimes; ++i) {
     Regime regime = static_cast<Regime>(i);
     uint64_t count = RegimeCount(regime);
     if (count == 0) continue;
-    std::snprintf(line, sizeof(line), "decisions_by_regime{%.*s} %llu\n",
-                  static_cast<int>(RegimeName(regime).size()),
-                  RegimeName(regime).data(),
-                  static_cast<unsigned long long>(count));
-    out += line;
+    s.decisions_by_regime.push_back(
+        {std::string(RegimeName(regime)), count});
   }
-  std::snprintf(line, sizeof(line),
-                "cache_hits %llu\ncache_misses %llu\ncache_evictions "
-                "%llu\ncache_entries %llu\n",
-                static_cast<unsigned long long>(cache.hits),
-                static_cast<unsigned long long>(cache.misses),
-                static_cast<unsigned long long>(cache.evictions),
-                static_cast<unsigned long long>(cache.entries));
-  out += line;
+  s.cache = cache;
+
   // Prometheus histogram convention: buckets are cumulative, keyed by
-  // their inclusive upper bound `le`, and always end at +Inf; the paired
-  // _sum/_count series make averages computable.
+  // their inclusive upper bound `le`, and always end at +Inf. The bucket
+  // upper bound is exclusive in the histogram but `le` is inclusive;
+  // [0, 2^i) integers == le 2^i - 1.
   uint64_t cumulative = 0;
   for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
     cumulative += latency_.BucketCount(i);
     auto [lower, upper] = LatencyHistogram::BucketBounds(i);
     (void)lower;
-    if (upper == 0) {
-      std::snprintf(line, sizeof(line),
-                    "latency_us_bucket{le=\"+Inf\"} %llu\n",
-                    static_cast<unsigned long long>(cumulative));
-    } else {
-      // The bucket upper bound is exclusive in the histogram but `le` is
-      // inclusive; [0, 2^i) integers == le 2^i - 1.
-      std::snprintf(line, sizeof(line),
-                    "latency_us_bucket{le=\"%llu\"} %llu\n",
-                    static_cast<unsigned long long>(upper - 1),
-                    static_cast<unsigned long long>(cumulative));
-    }
-    out += line;
+    obs::HistogramBucket bucket;
+    bucket.unbounded = upper == 0;
+    bucket.le = bucket.unbounded ? 0 : upper - 1;
+    bucket.cumulative_count = cumulative;
+    s.latency_buckets.push_back(bucket);
   }
-  std::snprintf(line, sizeof(line),
-                "latency_us_sum %llu\nlatency_us_count %llu\n",
-                static_cast<unsigned long long>(latency_.SumMicros()),
-                static_cast<unsigned long long>(latency_.TotalCount()));
-  out += line;
+  s.latency_sum_micros = latency_.SumMicros();
+  s.latency_count = latency_.TotalCount();
 
   for (int r = 0; r < kNumRegimes; ++r) {
     for (int c = 0; c < kNumTraceCounters; ++c) {
       uint64_t v = counter_totals_[r][c].load(std::memory_order_relaxed);
       if (v == 0) continue;
-      std::string_view regime = RegimeName(static_cast<Regime>(r));
-      std::string_view counter =
-          trace::CounterName(static_cast<trace::Counter>(c));
-      std::snprintf(line, sizeof(line),
-                    "trace_counter_total{regime=\"%.*s\",counter=\"%.*s\"} "
-                    "%llu\n",
-                    static_cast<int>(regime.size()), regime.data(),
-                    static_cast<int>(counter.size()), counter.data(),
-                    static_cast<unsigned long long>(v));
-      out += line;
+      s.trace_counter_totals.push_back(
+          {std::string(RegimeName(static_cast<Regime>(r))),
+           std::string(trace::CounterName(static_cast<trace::Counter>(c))),
+           v});
     }
   }
 
   std::lock_guard<std::mutex> lock(trace_mu_);
   for (const auto& [phase, stat] : phases_) {
-    std::snprintf(line, sizeof(line),
-                  "trace_phase_ns{phase=\"%s\"} %llu\n"
-                  "trace_phase_calls{phase=\"%s\"} %llu\n",
-                  phase.c_str(), static_cast<unsigned long long>(stat.ns),
-                  phase.c_str(),
-                  static_cast<unsigned long long>(stat.calls));
-    out += line;
+    s.phases.push_back({phase, stat.ns, stat.calls});
   }
-  for (size_t i = 0; i < slow_log_.size(); ++i) {
-    const SlowRequest& slow = slow_log_[i];
-    std::string_view regime = RegimeName(slow.regime);
-    std::snprintf(line, sizeof(line),
-                  "slow_request{rank=%llu,latency_us=%llu,regime=\"%.*s\"} ",
-                  static_cast<unsigned long long>(i),
-                  static_cast<unsigned long long>(slow.latency_micros),
-                  static_cast<int>(regime.size()), regime.data());
-    out += line;
-    out += slow.description;
-    out += '\n';
-    // The span tree, indented so a scraper can skip continuation lines.
-    size_t begin = 0;
-    while (begin < slow.trace_text.size()) {
-      size_t end = slow.trace_text.find('\n', begin);
-      if (end == std::string::npos) end = slow.trace_text.size();
-      out += "    ";
-      out.append(slow.trace_text, begin, end - begin);
-      out += '\n';
-      begin = end + 1;
-    }
+  for (const SlowRequest& slow : slow_log_) {
+    s.slow_log.push_back({slow.latency_micros,
+                          std::string(RegimeName(slow.regime)),
+                          slow.description, slow.trace_text});
   }
-  return out;
+  return s;
+}
+
+std::string ServiceMetrics::Dump(const CacheStats& cache) const {
+  return obs::RenderMetricsText(Snapshot(cache));
 }
 
 }  // namespace relcont

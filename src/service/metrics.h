@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/exposition.h"
 #include "relcont/decide.h"
 #include "service/decision_cache.h"
 #include "trace/trace.h"
@@ -109,11 +111,17 @@ class ServiceMetrics {
   /// Caps the slow log at `capacity` entries (default 4; 0 disables it).
   void set_slow_log_capacity(size_t capacity);
 
+  /// Copies every counter plus build/uptime identity into one consistent
+  /// snapshot — the single source both the METRICS verb and the Prometheus
+  /// `/metrics` endpoint render from (see obs/exposition.h).
+  obs::MetricsSnapshot Snapshot(const CacheStats& cache) const;
+
   /// Renders a multi-line text dump: request totals, per-regime counts,
   /// the supplied cache counters, the latency histogram as cumulative
   /// Prometheus-style `le` buckets with `latency_us_sum`/`_count`, and —
   /// when traces were recorded — per-phase timers, per-regime trace
-  /// counter totals, and the slow-request log.
+  /// counter totals, and the slow-request log. Equivalent to
+  /// obs::RenderMetricsText(Snapshot(cache)).
   std::string Dump(const CacheStats& cache) const;
 
  private:
@@ -121,6 +129,14 @@ class ServiceMetrics {
     uint64_t ns = 0;
     uint64_t calls = 0;
   };
+
+  /// Fixed at construction; Snapshot derives uptime and start time.
+  const std::chrono::steady_clock::time_point start_steady_ =
+      std::chrono::steady_clock::now();
+  const int64_t start_unix_seconds_ =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};

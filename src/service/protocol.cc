@@ -165,7 +165,9 @@ std::string ServerSession::HandleContained(const std::string& rest) {
     batch_.push_back(std::move(request));
     return "QUEUED " + std::to_string(batch_.size() - 1) + "\n";
   }
-  return RenderResponse(service_->Decide(request, &ctx_));
+  DecisionResponse response = service_->Decide(request, &ctx_);
+  Observe(request, response);
+  return RenderResponse(response);
 }
 
 std::string ServerSession::HandleExplain(const std::string& rest) {
@@ -194,6 +196,7 @@ std::string ServerSession::HandleExplain(const std::string& rest) {
   request.bypass_cache = true;
   request.collect_trace = true;
   DecisionResponse response = service_->Decide(request, &ctx_);
+  Observe(request, response);
   std::string out = RenderResponse(response);
   if (!response.status.ok() || response.trace == nullptr) return out;
   if (response.trace->spans().empty() && !trace::kCompiledIn) {
@@ -224,6 +227,7 @@ std::string ServerSession::HandleBatch(const std::string& rest) {
     std::string out =
         "OK batch " + std::to_string(responses.size()) + "\n";
     for (size_t i = 0; i < responses.size(); ++i) {
+      Observe(batch_[i], responses[i]);
       out += "[" + std::to_string(i) + "] " + RenderResponse(responses[i]);
     }
     batch_.clear();

@@ -1,6 +1,7 @@
 #ifndef RELCONT_SERVICE_PROTOCOL_H_
 #define RELCONT_SERVICE_PROTOCOL_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -8,6 +9,13 @@
 #include "service/service.h"
 
 namespace relcont {
+
+/// Invoked once per finished containment decision (CONTAINED?, EXPLAIN,
+/// and each batch element), after the service answered. The observer runs
+/// on the session's thread; it must be safe to call from many sessions
+/// concurrently if one observer instance is shared (obs::AccessLog is).
+using DecisionObserver =
+    std::function<void(const DecisionRequest&, const DecisionResponse&)>;
 
 /// One client session of the line-delimited request/response protocol
 /// (grammar in docs/SERVICE.md). One request per line:
@@ -37,7 +45,18 @@ class ServerSession {
   /// terminated. Empty and '%'-comment lines yield an empty response.
   std::string HandleLine(const std::string& line);
 
+  /// Installs an observer for every decision this session makes (access
+  /// logging). Pass an empty function to remove it.
+  void set_decision_observer(DecisionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
+  void Observe(const DecisionRequest& request,
+               const DecisionResponse& response) const {
+    if (observer_) observer_(request, response);
+  }
+
   std::string HandleCatalog(const std::string& rest);
   std::string HandleDefine(const std::string& rest);
   std::string HandleContained(const std::string& rest);
@@ -48,6 +67,7 @@ class ServerSession {
   ContainmentService* service_;
   WorkerContext ctx_;
   int batch_threads_;
+  DecisionObserver observer_;
   /// Named query texts declared with DEFINE.
   std::map<std::string, std::string> queries_;
   bool in_batch_ = false;

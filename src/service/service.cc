@@ -138,6 +138,7 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
     }
     RELCONT_ASSIGN_OR_RETURN(const MaterializedCatalog* catalog,
                              CatalogFor(request.catalog, ctx));
+    out.catalog_version = catalog->version;
     RELCONT_ASSIGN_OR_RETURN(
         GoalQuery q1, ParseGoalQuery(request.q1_text, ctx->interner()));
     RELCONT_ASSIGN_OR_RETURN(

@@ -73,6 +73,10 @@ struct DecisionResponse {
   std::string witness_text;
   bool cache_hit = false;
   uint64_t latency_micros = 0;
+  /// Version of the catalog the decision ran against (0 when the request
+  /// failed before catalog resolution). Lets the access log attribute a
+  /// decision to the exact catalog snapshot it saw.
+  int64_t catalog_version = 0;
   /// The decision's span tree, present iff tracing was requested for this
   /// request (empty spans when the hooks are compiled out). Shared so
   /// responses stay cheap to copy.

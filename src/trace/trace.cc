@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace relcont {
 namespace trace {
 
@@ -18,28 +20,10 @@ uint64_t NowNs() {
 thread_local TraceContext* g_current = nullptr;
 
 /// Appends a JSON-escaped copy of `s` (span names are plain identifiers,
-/// but stay safe if one ever is not).
+/// but stay safe if one ever is not). Shared with the access log and the
+/// bench schema so every JSON emitter escapes identically.
 void AppendJsonString(std::string_view s, std::string* out) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out->append("\\\"");
-        break;
-      case '\\':
-        out->append("\\\\");
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out->append(buf);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  json::AppendEscaped(s, out);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+// Perf regression gate: diffs two relcont-bench-v1 JSON files (see
+// bench/harness.h for the schema) metric by metric and fails when the
+// current run is worse than the baseline by more than a threshold.
+//
+//   bench_compare baseline.json current.json [--threshold FRAC]
+//
+// A metric regresses when it moved against its recorded direction
+// (`higher_is_better`) by more than FRAC (default 0.25, i.e. 25%): with
+// allowed factor f = 1 + FRAC, a higher-is-better metric regresses when
+// current < baseline / f, a lower-is-better one when current > baseline
+// * f. Metrics present in the baseline but missing from the current run
+// fail too — a benchmark that silently stops reporting is not a pass.
+// New metrics (current-only) are listed but never fail the gate.
+//
+// Exit codes: 0 = no regression, 1 = regression (or missing metric),
+// 2 = unreadable/malformed input.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace relcont {
+namespace {
+
+struct MetricRow {
+  double value = 0;
+  std::string unit;
+  bool higher_is_better = true;
+};
+
+struct BenchFile {
+  std::string name;
+  std::map<std::string, MetricRow> metrics;  // ordered for stable output
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare <baseline.json> <current.json> "
+               "[--threshold FRAC]\n");
+  return 2;
+}
+
+bool LoadBenchFile(const char* path, BenchFile* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<json::Value> parsed = json::Parse(text.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bench_compare: %s: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const json::Value& root = *parsed;
+  const json::Value* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string_value != "relcont-bench-v1") {
+    std::fprintf(stderr,
+                 "bench_compare: %s: not a relcont-bench-v1 file\n", path);
+    return false;
+  }
+  if (const json::Value* name = root.Find("name");
+      name != nullptr && name->is_string()) {
+    out->name = name->string_value;
+  }
+  const json::Value* metrics = root.Find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    std::fprintf(stderr, "bench_compare: %s: missing metrics array\n", path);
+    return false;
+  }
+  for (const json::Value& entry : metrics->array) {
+    const json::Value* name = entry.Find("name");
+    const json::Value* value = entry.Find("value");
+    if (name == nullptr || !name->is_string() || value == nullptr ||
+        !value->is_number()) {
+      std::fprintf(stderr,
+                   "bench_compare: %s: metric needs a name and a numeric "
+                   "value\n", path);
+      return false;
+    }
+    MetricRow row;
+    row.value = value->number_value;
+    if (const json::Value* unit = entry.Find("unit");
+        unit != nullptr && unit->is_string()) {
+      row.unit = unit->string_value;
+    }
+    if (const json::Value* dir = entry.Find("higher_is_better");
+        dir != nullptr && dir->is_bool()) {
+      row.higher_is_better = dir->bool_value;
+    }
+    out->metrics[name->string_value] = std::move(row);
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double threshold = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold < 0) return Usage();
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) return Usage();
+
+  BenchFile baseline;
+  BenchFile current;
+  if (!LoadBenchFile(baseline_path, &baseline) ||
+      !LoadBenchFile(current_path, &current)) {
+    return 2;
+  }
+  if (!baseline.name.empty() && !current.name.empty() &&
+      baseline.name != current.name) {
+    std::fprintf(stderr,
+                 "bench_compare: comparing different benchmarks "
+                 "('%s' vs '%s')\n",
+                 baseline.name.c_str(), current.name.c_str());
+    return 2;
+  }
+
+  const double allowed_factor = 1.0 + threshold;
+  std::printf("bench_compare: %s, allowed slack %.0f%%\n",
+              current.name.empty() ? "(unnamed)" : current.name.c_str(),
+              threshold * 100.0);
+  std::printf("  %-32s %14s %14s %9s  %s\n", "metric", "baseline",
+              "current", "ratio", "verdict");
+
+  int regressions = 0;
+  for (const auto& [name, base] : baseline.metrics) {
+    auto it = current.metrics.find(name);
+    if (it == current.metrics.end()) {
+      std::printf("  %-32s %14.6g %14s %9s  MISSING\n", name.c_str(),
+                  base.value, "-", "-");
+      ++regressions;
+      continue;
+    }
+    const MetricRow& cur = it->second;
+    // Non-positive baselines make the ratio meaningless (a 0 ns timing,
+    // a negative overhead-%) — report but never gate on them.
+    if (base.value <= 0) {
+      std::printf("  %-32s %14.6g %14.6g %9s  skipped\n", name.c_str(),
+                  base.value, cur.value, "-");
+      continue;
+    }
+    double ratio = cur.value / base.value;
+    bool regressed = base.higher_is_better
+                         ? cur.value * allowed_factor < base.value
+                         : cur.value > base.value * allowed_factor;
+    std::printf("  %-32s %14.6g %14.6g %8.3fx  %s\n", name.c_str(),
+                base.value, cur.value, ratio,
+                regressed ? "REGRESSED" : "ok");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, cur] : current.metrics) {
+    if (baseline.metrics.find(name) == baseline.metrics.end()) {
+      std::printf("  %-32s %14s %14.6g %9s  new\n", name.c_str(), "-",
+                  cur.value, "-");
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("bench_compare: %d regression%s beyond the %.0f%% "
+                "threshold\n",
+                regressions, regressions == 1 ? "" : "s",
+                threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: no regressions\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace relcont
+
+int main(int argc, char** argv) { return relcont::Main(argc, argv); }
