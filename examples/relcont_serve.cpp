@@ -27,6 +27,11 @@
 //   --port N           serve TCP + HTTP on port N instead of stdin/stdout
 //   --access-log FILE  append one JSONL event per decision to FILE
 //   --log-sample R     log every R-th decision only (default 1 = all)
+//   --default-timeout-ms N  deadline for requests without timeout_ms=
+//                      (default 0 = unbounded); expired requests answer
+//                      ERR BoundReached, not a verdict
+//   --workers N        parallel scan width for requests without workers=
+//                      (default 1 = serial)
 
 #include <cerrno>
 #include <csignal>
@@ -55,7 +60,8 @@ int Usage() {
                "usage: relcont_serve [--batch] [--threads N] [--cache N] "
                "[--trace] [--slow-log N]\n"
                "                     [--port N] [--access-log FILE] "
-               "[--log-sample R]\n");
+               "[--log-sample R]\n"
+               "                     [--default-timeout-ms N] [--workers N]\n");
   return 2;
 }
 
@@ -116,6 +122,16 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(arg, "--log-sample") == 0) {
       if (!ParseIntFlag(arg, value, 1, 1LL << 30, &log_sample)) return Usage();
+      ++i;
+    } else if (std::strcmp(arg, "--default-timeout-ms") == 0) {
+      long long timeout = 0;
+      if (!ParseIntFlag(arg, value, 1, 1LL << 40, &timeout)) return Usage();
+      config.default_timeout_ms = timeout;
+      ++i;
+    } else if (std::strcmp(arg, "--workers") == 0) {
+      long long workers = 0;
+      if (!ParseIntFlag(arg, value, 1, 1024, &workers)) return Usage();
+      config.default_parallel_workers = static_cast<int>(workers);
       ++i;
     } else {
       return Usage();

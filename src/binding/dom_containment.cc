@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "common/budget.h"
 #include "datalog/substitution.h"
 #include "trace/trace.h"
 
@@ -163,7 +164,8 @@ class DomDecider {
       std::vector<SymbolId> vars = d.Variables();
       if (static_cast<int>(d.body.size()) > options_.max_disjunct_size ||
           static_cast<int>(vars.size()) > options_.max_disjunct_size) {
-        return Status::BoundReached("UCQ disjunct too large for bitmasks");
+        return BoundReachedAt("dom_containment",
+                              "UCQ disjunct too large for bitmasks");
       }
       for (SymbolId v : vars) {
         info.var_index[v] = static_cast<int>(info.vars.size());
@@ -532,8 +534,10 @@ class DomDecider {
     int rounds = 0;
     while (changed) {
       if (++rounds > options_.max_rounds) {
-        return Status::BoundReached("tree saturation round cap hit");
+        return BoundReachedAt("dom_saturation",
+                              "tree saturation round cap hit");
       }
+      RELCONT_RETURN_NOT_OK(BudgetChargeOr("dom_saturation"));
       RELCONT_TRACE_COUNT(kDomSaturationRounds, 1);
       changed = false;
       for (size_t r = 0; r < node_rules_.size(); ++r) {
@@ -548,7 +552,7 @@ class DomDecider {
             changed = true;
             if (static_cast<int>(tree_options_.size()) >
                 options_.max_tree_options) {
-              return Status::BoundReached("tree option cap hit");
+              return BoundReachedAt("dom_saturation", "tree option cap hit");
             }
           }
         }
@@ -569,7 +573,7 @@ class DomDecider {
             tree_options_.push_back(std::move(option));
             if (static_cast<int>(tree_options_.size()) >
                 options_.max_tree_options) {
-              return Status::BoundReached("tree option cap hit");
+              return BoundReachedAt("dom_saturation", "tree option cap hit");
             }
           }
         }
@@ -596,7 +600,7 @@ class DomDecider {
     for (size_t i = 0; i < k; ++i) {
       total *= static_cast<int64_t>(choices.size());
       if (total > 100000) {
-        return Status::BoundReached("child combination cap hit");
+        return BoundReachedAt("dom_saturation", "child combination cap hit");
       }
     }
     std::vector<ChildRef> current(k);
@@ -643,8 +647,12 @@ class DomDecider {
       std::vector<size_t> pick(option_lists.size(), 0);
       for (;;) {
         if (++result.cores_checked > options_.max_core_checks) {
-          return Status::BoundReached("core assignment cap hit");
+          return BoundReachedAt("dom_check_cores", "core assignment cap hit");
         }
+        // CheckAssignment's embedding search is budget-free (so a negative
+        // is always a real counterexample); the charge here makes the ∀∃
+        // sweep interruptible between assignments.
+        RELCONT_RETURN_NOT_OK(BudgetChargeOr("dom_check_cores"));
         RELCONT_ASSIGN_OR_RETURN(bool embeds, CheckAssignment(core, pick));
         if (!embeds) {
           result.contained = false;

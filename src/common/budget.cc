@@ -1,0 +1,125 @@
+#include "common/budget.h"
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace relcont {
+namespace {
+
+thread_local WorkBudget* g_current_budget = nullptr;
+
+}  // namespace
+
+std::string_view BudgetReasonName(BudgetReason reason) {
+  switch (reason) {
+    case BudgetReason::kNone:
+      return "none";
+    case BudgetReason::kSteps:
+      return "steps";
+    case BudgetReason::kDeadline:
+      return "deadline";
+    case BudgetReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool WorkBudget::Charge(uint64_t n) {
+  if (exhausted_.load(std::memory_order_relaxed)) return false;
+  if (parent_ != nullptr && !parent_->Charge(n)) {
+    // The parent's exhaustion (e.g. the request deadline) propagates down
+    // into the region with the parent's reason, so the region's ToStatus
+    // reports the real cause, not a spurious "cancelled".
+    MarkExhausted(parent_->reason());
+    return false;
+  }
+  uint64_t used = steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (max_steps_ > 0 && used > static_cast<uint64_t>(max_steps_)) {
+    MarkExhausted(BudgetReason::kSteps);
+    return false;
+  }
+  if (has_deadline_) {
+    // Read the clock on the first charge and then once per stride: a 1 ms
+    // deadline trips within ~256 search steps of expiring, while the
+    // steady_clock read stays off the inner-loop hot path.
+    uint64_t prev = used - n;
+    if (prev == 0 || used / kDeadlineCheckStride != prev / kDeadlineCheckStride) {
+      if (std::chrono::steady_clock::now() >= deadline_) {
+        MarkExhausted(BudgetReason::kDeadline);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void WorkBudget::MarkExhausted(BudgetReason reason) {
+  int expected = static_cast<int>(BudgetReason::kNone);
+  // First trip wins; later causes (e.g. a cancel racing a deadline) keep
+  // the original reason so diagnostics are stable.
+  reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+  exhausted_.store(true, std::memory_order_relaxed);
+}
+
+Status WorkBudget::ToStatus(std::string_view site) const {
+  std::string detail;
+  switch (reason()) {
+    case BudgetReason::kSteps:
+      detail = "step budget exhausted after " +
+               std::to_string(steps_used()) + " steps";
+      break;
+    case BudgetReason::kDeadline:
+      detail = "deadline exceeded";
+      break;
+    case BudgetReason::kCancelled:
+      detail = "cancelled (a sibling task already decided the result)";
+      break;
+    case BudgetReason::kNone:
+      detail = "budget exhausted";
+      break;
+  }
+  return BoundReachedAt(site, detail);
+}
+
+WorkBudget* CurrentBudget() { return g_current_budget; }
+
+BudgetScope::BudgetScope(WorkBudget* budget) : prev_(g_current_budget) {
+  g_current_budget = budget;
+}
+
+BudgetScope::~BudgetScope() { g_current_budget = prev_; }
+
+bool BudgetCharge(uint64_t n) {
+  WorkBudget* b = g_current_budget;
+  return b == nullptr || b->Charge(n);
+}
+
+bool BudgetExhausted() {
+  WorkBudget* b = g_current_budget;
+  return b != nullptr && b->Exhausted();
+}
+
+Status BudgetOkOrBound(std::string_view site) {
+  WorkBudget* b = g_current_budget;
+  if (b == nullptr || !b->Exhausted()) return Status::OK();
+  return b->ToStatus(site);
+}
+
+Status BudgetChargeOr(std::string_view site, uint64_t n) {
+  WorkBudget* b = g_current_budget;
+  if (b == nullptr || b->Charge(n)) return Status::OK();
+  return b->ToStatus(site);
+}
+
+Status BoundReachedAt(std::string_view site, std::string_view detail) {
+  RELCONT_TRACE_COUNT(kBoundHits, 1);
+  std::string message = "bound reached [";
+  message.append(site);
+  message.append("]: ");
+  message.append(detail);
+  return Status::BoundReached(message);
+}
+
+}  // namespace relcont

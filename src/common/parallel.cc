@@ -1,0 +1,65 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace relcont {
+namespace {
+
+/// Claims indices from `next` and runs `task` until the items run out or
+/// the region trips. Returns the number of items this thread completed.
+size_t RunLoop(size_t n, WorkBudget* region, std::atomic<size_t>* next,
+               const std::function<bool(size_t)>& task) {
+  size_t done = 0;
+  while (!region->Exhausted()) {
+    size_t i = next->fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    bool keep_going = task(i);
+    // The item ran to completion whatever it answered; only the REST of
+    // the scan is abandoned on early exit.
+    ++done;
+    if (!keep_going) {
+      region->Cancel();
+      break;
+    }
+  }
+  return done;
+}
+
+}  // namespace
+
+ParallelScanStats ParallelScan(size_t n, int workers, WorkBudget* region,
+                               const std::function<bool(size_t)>& task) {
+  ParallelScanStats stats;
+  if (n == 0) return stats;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  size_t helpers =
+      workers <= 1 ? 0
+                   : std::min(static_cast<size_t>(workers), n) - 1;
+  std::vector<std::thread> threads;
+  threads.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) {
+    region->NoteHelperSpawned();
+    threads.emplace_back([&, region] {
+      BudgetScope scope(region);
+      done.fetch_add(RunLoop(n, region, &next, task),
+                     std::memory_order_relaxed);
+      region->NoteHelperCompleted();
+    });
+  }
+  {
+    // The caller participates under the same region budget; its previous
+    // budget (the region's parent) is restored on scope exit.
+    BudgetScope scope(region);
+    done.fetch_add(RunLoop(n, region, &next, task),
+                   std::memory_order_relaxed);
+  }
+  for (std::thread& t : threads) t.join();
+  stats.helpers_spawned = static_cast<int>(helpers);
+  stats.items_unfinished = n - done.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace relcont

@@ -1,0 +1,59 @@
+#ifndef RELCONT_COMMON_PARALLEL_H_
+#define RELCONT_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/budget.h"
+
+namespace relcont {
+
+/// What one ParallelScan did, for trace/metrics attribution by the caller
+/// (helper threads have no trace context of their own — see ParallelScan).
+struct ParallelScanStats {
+  /// Helper threads actually launched (0 when the scan ran inline).
+  int helpers_spawned = 0;
+  /// Items whose task never ran to completion because the region was
+  /// cancelled or its budget exhausted before they finished.
+  size_t items_unfinished = 0;
+};
+
+/// Runs `task(i)` once for each i in [0, n), fanned out over up to
+/// `workers` threads. The calling thread participates, so `workers <= 1`
+/// or `n <= 1` degenerates to an inline loop with zero threads spawned.
+///
+/// Scheduling is dynamic work-sharing: every thread claims the next
+/// unclaimed index from one shared atomic cursor, so a thread stuck on an
+/// expensive disjunct never blocks the cheap ones behind it (the
+/// work-stealing effect the fan-out needs, without per-thread deques —
+/// items are claimed one at a time, so there is nothing to steal back).
+///
+/// `task` returning false requests EARLY EXIT (first-counterexample-wins):
+/// the region budget is cancelled, so in-flight siblings stop at their
+/// next budget probe and unclaimed items are never started.
+///
+/// Every thread — including the caller — runs its tasks with `region`
+/// installed as the thread-local CurrentBudget(). `region` must outlive
+/// the call (stack allocation in the caller is the intended use) and
+/// should chain to the caller's budget:
+///
+///   WorkBudget region(CurrentBudget());
+///   ParallelScanStats stats = ParallelScan(n, workers, &region, task);
+///
+/// Helper threads do NOT inherit the caller's TraceContext (contexts are
+/// single-threaded by contract); per-span counters from helper-executed
+/// tasks are therefore not recorded. The caller's own share of the work is
+/// traced as usual, and the scan-level stats are returned for the caller
+/// to attribute.
+///
+/// Helper bookkeeping: each helper is announced on the region's ROOT
+/// budget via NoteHelperSpawned before launch and NoteHelperCompleted as
+/// the helper's last action; all helpers are joined before ParallelScan
+/// returns, so tasks_spawned == tasks_completed afterwards (the service's
+/// pool-quiescence invariant).
+ParallelScanStats ParallelScan(size_t n, int workers, WorkBudget* region,
+                               const std::function<bool(size_t)>& task);
+
+}  // namespace relcont
+
+#endif  // RELCONT_COMMON_PARALLEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/budget.h"
 #include "trace/trace.h"
 
 namespace relcont {
@@ -282,6 +283,12 @@ std::vector<Linearization> OrderConstraints::EnumerateLinearizations() const {
   for (int i = 0; i < n; ++i) remaining[i] = i;
 
   Linearization current;
+  // The ordered-Bell explosion lives here, so this loop carries the budget:
+  // one step per candidate subset mask. When the budget trips the
+  // enumeration stops early and the result is INCOMPLETE — callers must
+  // probe the budget (BudgetOkOrBound) before treating the list as
+  // exhaustive.
+  WorkBudget* budget = CurrentBudget();
   // Chooses the next minimal class from `remaining` and recurses.
   // Subset enumeration by bitmask over the remaining points (|remaining|
   // is at most the point count; practical queries stay small).
@@ -293,6 +300,7 @@ std::vector<Linearization> OrderConstraints::EnumerateLinearizations() const {
         }
         int m = static_cast<int>(rem.size());
         for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+          if (budget != nullptr && !budget->Charge(1)) return;
           std::vector<int> cls;
           std::vector<int> rest;
           for (int i = 0; i < m; ++i) {

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/budget.h"
 #include "constraints/order_constraints.h"
 #include "containment/homomorphism.h"
 #include "trace/trace.h"
@@ -176,7 +177,9 @@ Result<bool> CqContainedViaEntailment(const Rule& q1_in, const Rule& q2_in) {
     }
     return true;
   });
-  return found;
+  if (found) return true;
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("comparison_entailment"));
+  return false;
 }
 
 namespace {
@@ -200,15 +203,20 @@ Result<bool> ContainedInUnionLinearized(const Rule& q1,
   RELCONT_RETURN_NOT_OK(c1.AddAll(q1.comparisons));
   if (!c1.IsSatisfiable()) return true;
   if (c1.TooManyPointsToEnumerate()) {
-    return Status::BoundReached(
-        "too many dense-order points for the complete linearization test (" +
-        std::to_string(c1.points().size()) + " > " +
-        std::to_string(OrderConstraints::kMaxEnumerablePoints) +
-        "); the semi-interval fast path did not apply");
+    return BoundReachedAt(
+        "linearization",
+        std::to_string(c1.points().size()) +
+            " dense-order points exceed the enumerable cap of " +
+            std::to_string(OrderConstraints::kMaxEnumerablePoints) +
+            " and the semi-interval fast path did not apply");
   }
 
   RELCONT_TRACE_SPAN("comparison_linearizations");
-  for (const Linearization& lin : c1.EnumerateLinearizations()) {
+  std::vector<Linearization> lins = c1.EnumerateLinearizations();
+  // The enumeration stops early once the budget trips; a "covered in every
+  // linearization" verdict is only sound over the complete list.
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization"));
+  for (const Linearization& lin : lins) {
     RELCONT_TRACE_COUNT(kLinearizations, 1);
     std::map<Term, Rational> sigma = c1.Realize(lin);
     // Collapse q1 by the linearization: variables in a class with a
@@ -244,7 +252,12 @@ Result<bool> ContainedInUnionLinearized(const Rule& q1,
         break;
       }
     }
-    if (!covered) return false;
+    if (!covered) {
+      // An uncovered linearization is a counterexample only when every
+      // disjunct search ran to completion.
+      RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization"));
+      return false;
+    }
   }
   return true;
 }

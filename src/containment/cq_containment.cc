@@ -1,5 +1,6 @@
 #include "containment/cq_containment.h"
 
+#include "common/budget.h"
 #include "containment/homomorphism.h"
 #include "trace/trace.h"
 
@@ -30,7 +31,11 @@ Result<bool> CqContained(const Rule& q1, const Rule& q2) {
   if (q1.head.arity() != q2.head.arity()) {
     return Status::InvalidArgument("containment requires equal head arity");
   }
-  return FindContainmentMapping(q2, q1).has_value();
+  if (FindContainmentMapping(q2, q1).has_value()) return true;
+  // A found mapping is real even under an exhausted budget; a "not found"
+  // from a truncated search is not an answer.
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("cq_containment"));
+  return false;
 }
 
 Result<bool> CqContainedInUnion(const Rule& q1, const UnionQuery& q2) {
@@ -45,6 +50,7 @@ Result<bool> CqContainedInUnion(const Rule& q1, const UnionQuery& q2) {
     RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
     if (FindContainmentMapping(d, q1).has_value()) return true;
   }
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("cq_union_containment"));
   return false;
 }
 

@@ -1,5 +1,6 @@
 #include "containment/expansion.h"
 
+#include "common/budget.h"
 #include "containment/cq_containment.h"
 #include "datalog/substitution.h"
 #include "trace/trace.h"
@@ -33,6 +34,14 @@ class Enumerator {
   // first IDB atom against every alternative.
   void Expand(const Rule& rule, int applications) {
     if (stop_) return;
+    // One budget step per resolution node; exhaustion truncates the
+    // enumeration exactly like max_expansions (complete_ = false), so the
+    // caller's BoundReached path reports it.
+    if (!BudgetCharge(1)) {
+      complete_ = false;
+      stop_ = true;
+      return;
+    }
     int idb_index = -1;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (idb_.count(rule.body[i].predicate) > 0) {
@@ -131,8 +140,12 @@ Result<bool> DatalogContainedInUcqBounded(const Program& program,
     return false;
   }
   if (!*complete) {
-    return Status::BoundReached(
-        "no counterexample within bounds, but enumeration was truncated");
+    // Prefer the budget's own status (deadline vs steps) when it was the
+    // cause; otherwise this is the structural expansion cap.
+    RELCONT_RETURN_NOT_OK(BudgetOkOrBound("expansion"));
+    return BoundReachedAt(
+        "expansion", "no counterexample within bounds, but enumeration was "
+                     "truncated");
   }
   return true;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/budget.h"
 #include "trace/trace.h"
 
 namespace relcont {
@@ -71,7 +72,12 @@ bool Backtrack(const Rule& from, const Rule& to,
                const std::vector<int>& order, size_t depth,
                Substitution* subst,
                const std::function<bool(const Substitution&)>& visit,
-               SearchStats* stats) {
+               SearchStats* stats, WorkBudget* budget) {
+  // One budget step per search node. On exhaustion the search unwinds
+  // reporting "not found"; callers must treat that negative as
+  // inconclusive (the BudgetOkOrBound idiom) — a visited mapping is still
+  // a real mapping.
+  if (budget != nullptr && !budget->Charge(1)) return false;
   if (depth == order.size()) {
     if (stats != nullptr) ++stats->found;
     return visit(*subst);
@@ -81,7 +87,8 @@ bool Backtrack(const Rule& from, const Rule& to,
     Substitution extended = *subst;
     if (stats != nullptr) ++stats->candidates;
     if (!MatchAtomFrozen(pattern, candidate, &extended)) continue;
-    if (Backtrack(from, to, order, depth + 1, &extended, visit, stats)) {
+    if (Backtrack(from, to, order, depth + 1, &extended, visit, stats,
+                  budget)) {
       return true;
     }
     if (stats != nullptr) ++stats->backtracks;
@@ -124,7 +131,8 @@ bool ForEachContainmentMapping(
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](int a, int b) { return candidates[a] < candidates[b]; });
-  bool result = Backtrack(from, to, order, 0, &subst, visit, stats_ptr);
+  bool result =
+      Backtrack(from, to, order, 0, &subst, visit, stats_ptr, CurrentBudget());
 #if RELCONT_TRACE
   if (trace_ctx != nullptr) {
     trace_ctx->AddCount(trace::Counter::kHomMappingCalls, 1);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/budget.h"
 #include "datalog/substitution.h"
 #include "trace/trace.h"
 
@@ -30,6 +31,7 @@ class Unfolder {
   // Finds the first IDB subgoal of `rule`; if none, `rule` is fully
   // unfolded. Otherwise resolves it against every defining rule.
   Status Expand(const Rule& rule, UnionQuery* out) {
+    RELCONT_RETURN_NOT_OK(BudgetChargeOr("unfold"));
     int idb_index = -1;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (idb_.count(rule.body[i].predicate) > 0) {
@@ -40,7 +42,10 @@ class Unfolder {
     if (idb_index < 0) {
       if (static_cast<int64_t>(out->disjuncts.size()) >=
           options_.max_disjuncts) {
-        return Status::BoundReached("max_disjuncts exceeded while unfolding");
+        return BoundReachedAt("unfold", "max_disjuncts exceeded (" +
+                                            std::to_string(
+                                                options_.max_disjuncts) +
+                                            ")");
       }
       RELCONT_TRACE_COUNT(kUnfoldDisjuncts, 1);
       out->disjuncts.push_back(rule);

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/budget.h"
 #include "datalog/substitution.h"
 
 namespace relcont {
@@ -80,7 +81,9 @@ class SemiNaive {
       }
       delta = std::move(next_delta);
       if (full_.TotalFacts() > options_.max_facts) {
-        return Status::BoundReached("max_facts exceeded during evaluation");
+        return BoundReachedAt(
+            "eval", "max_facts exceeded during evaluation (" +
+                        std::to_string(options_.max_facts) + ")");
       }
     }
     EvalResult result;
@@ -154,6 +157,10 @@ class SemiNaive {
   }
 
   Status EmitHead(const Rule& rule, const Substitution& subst, Database* out) {
+    // One budget step per complete join result: the tightest loop the
+    // evaluator has, so deadlines land mid-round instead of at round
+    // boundaries.
+    RELCONT_RETURN_NOT_OK(BudgetChargeOr("eval"));
     // Comparisons must evaluate to true under the (now total) assignment.
     for (const Comparison& c : rule.comparisons) {
       Comparison ground = subst.Apply(c);

@@ -65,6 +65,10 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
   AppendLine(&out, "requests_total %llu\nerrors_total %llu\n",
              ULL(s.requests), ULL(s.errors));
   AppendLine(&out, "request_cache_hits %llu\n", ULL(s.request_cache_hits));
+  AppendLine(&out, "deadline_exceeded %llu\n", ULL(s.deadline_exceeded));
+  AppendLine(&out,
+             "parallel_tasks_spawned %llu\nparallel_tasks_completed %llu\n",
+             ULL(s.parallel_tasks_spawned), ULL(s.parallel_tasks_completed));
   for (const RegimeDecisions& regime : s.decisions_by_regime) {
     AppendLine(&out, "decisions_by_regime{%s} %llu\n", regime.regime.c_str(),
                ULL(regime.count));
@@ -155,6 +159,24 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              "# TYPE relcont_request_cache_hits_total counter\n"
              "relcont_request_cache_hits_total %llu\n",
              ULL(s.request_cache_hits));
+  AppendLine(&out,
+             "# HELP relcont_deadline_exceeded_total Requests whose "
+             "deadline expired before the decision completed.\n"
+             "# TYPE relcont_deadline_exceeded_total counter\n"
+             "relcont_deadline_exceeded_total %llu\n",
+             ULL(s.deadline_exceeded));
+  AppendLine(&out,
+             "# HELP relcont_parallel_tasks_spawned_total Parallel helper "
+             "tasks spawned by decisions.\n"
+             "# TYPE relcont_parallel_tasks_spawned_total counter\n"
+             "relcont_parallel_tasks_spawned_total %llu\n",
+             ULL(s.parallel_tasks_spawned));
+  AppendLine(&out,
+             "# HELP relcont_parallel_tasks_completed_total Parallel helper "
+             "tasks joined by decisions (equals spawned when idle).\n"
+             "# TYPE relcont_parallel_tasks_completed_total counter\n"
+             "relcont_parallel_tasks_completed_total %llu\n",
+             ULL(s.parallel_tasks_completed));
   out +=
       "# HELP relcont_decisions_total Decisions per paper regime.\n"
       "# TYPE relcont_decisions_total counter\n";

@@ -65,6 +65,14 @@ struct MetricsSnapshot {
   /// Cache hits observed at the request level (a subset of cache.hits,
   /// which also counts probes made outside Decide).
   uint64_t request_cache_hits = 0;
+  /// Requests whose per-request deadline (timeout_ms / the server default)
+  /// expired before the decision completed.
+  uint64_t deadline_exceeded = 0;
+  /// Parallel helper tasks spawned/completed by decisions. Equal whenever
+  /// the service is idle: every helper is joined before its request
+  /// returns (pool quiescence).
+  uint64_t parallel_tasks_spawned = 0;
+  uint64_t parallel_tasks_completed = 0;
   std::vector<RegimeDecisions> decisions_by_regime;
   CacheStats cache;
 

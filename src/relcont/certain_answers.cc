@@ -146,8 +146,10 @@ Result<std::vector<Tuple>> BruteForceCertainAnswers(
   };
   for (const Value& v : views.Constants()) add_value(v);
   for (const Value& v : query.Constants()) add_value(v);
+  std::vector<Value> fresh;
   for (int i = 0; i < options.extra_constants; ++i) {
-    add_value(Value::Symbol(interner->Fresh("_w")));
+    fresh.push_back(Value::Symbol(interner->Fresh("_w")));
+    add_value(fresh.back());
   }
 
   // Mediated predicates and their arities.
@@ -237,6 +239,24 @@ Result<std::vector<Tuple>> BruteForceCertainAnswers(
     return Status::InvalidArgument(
         "no candidate database is consistent with the instance");
   }
+  // A genuine certain answer can never mention the enumeration's fresh
+  // constants: unbounded candidate databases include ones that avoid any
+  // given fresh value entirely, while every BOUNDED candidate here shares
+  // the same fresh values, so tuples mentioning them can spuriously
+  // survive the intersection. Dropping them also makes the result
+  // reproducible across calls, which mint different fresh symbols.
+  certain.erase(std::remove_if(certain.begin(), certain.end(),
+                               [&](const Tuple& t) {
+                                 for (const Term& term : t) {
+                                   for (const Value& v : fresh) {
+                                     if (term == Term::Constant(v)) {
+                                       return true;
+                                     }
+                                   }
+                                 }
+                                 return false;
+                               }),
+                certain.end());
   return certain;
 }
 

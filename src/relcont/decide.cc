@@ -1,5 +1,8 @@
 #include "relcont/decide.h"
 
+#include <memory>
+
+#include "common/budget.h"
 #include "trace/trace.h"
 
 namespace relcont {
@@ -54,6 +57,21 @@ Result<Decision> DecideRelativeContainment(
     const BindingPatterns& patterns, Interner* interner,
     const DecideOptions& options) {
   RELCONT_TRACE_SPAN("decide");
+  // Library-direct callers with budget options but no installed budget get
+  // a local root budget for this call. When a budget is already installed
+  // (the service's per-request budget), it governs and the option fields
+  // are ignored — one budget per request, owned at the outermost layer.
+  std::unique_ptr<WorkBudget> local_budget;
+  std::unique_ptr<BudgetScope> local_scope;
+  if (CurrentBudget() == nullptr &&
+      (options.timeout_ms > 0 || options.max_steps > 0)) {
+    local_budget = std::make_unique<WorkBudget>();
+    if (options.timeout_ms > 0) {
+      local_budget->set_timeout(std::chrono::milliseconds(options.timeout_ms));
+    }
+    if (options.max_steps > 0) local_budget->set_max_steps(options.max_steps);
+    local_scope = std::make_unique<BudgetScope>(local_budget.get());
+  }
   bool comparisons = HasComparisons(q1.program) || HasComparisons(q2.program) ||
                      HasComparisons(views);
   Decision out;
@@ -78,6 +96,7 @@ Result<Decision> DecideRelativeContainment(
       RELCONT_TRACE_SPAN("regime_theorem52");
       RelativeContainmentOptions rel_opts;
       rel_opts.unfold = options.unfold;
+      rel_opts.parallel_workers = options.parallel_workers;
       Rule witness;
       RELCONT_ASSIGN_OR_RETURN(
           bool contained,
@@ -91,6 +110,7 @@ Result<Decision> DecideRelativeContainment(
     RELCONT_TRACE_SPAN("regime_theorem51");
     RelativeContainmentOptions rel_opts;
     rel_opts.unfold = options.unfold;
+    rel_opts.parallel_workers = options.parallel_workers;
     RELCONT_ASSIGN_OR_RETURN(
         RelativeContainmentResult r,
         RelativelyContainedWithComparisons(q1, q2, views, interner, rel_opts));
@@ -117,6 +137,7 @@ Result<Decision> DecideRelativeContainment(
   RELCONT_TRACE_SPAN("regime_section3");
   RelativeContainmentOptions rel_opts;
   rel_opts.unfold = options.unfold;
+  rel_opts.parallel_workers = options.parallel_workers;
   RELCONT_ASSIGN_OR_RETURN(
       RelativeContainmentResult r,
       RelativelyContained(q1, q2, views, interner, rel_opts));

@@ -28,6 +28,24 @@ struct DecideOptions {
   DomContainmentOptions dom;
   /// Forwarded to the Theorem 3.2 recursive-Q1 direction.
   int max_rule_applications = 12;
+
+  // --- cooperative budget (see common/budget.h) ---------------------------
+  // These bound HOW LONG the decision may run, never WHAT it answers: when
+  // a bound trips the call returns kBoundReached instead of a verdict.
+  // When a WorkBudget is already installed on the calling thread (the
+  // service does this per request), that budget governs and these two
+  // fields are ignored; they exist so direct library callers get the same
+  // behavior without touching budget machinery.
+
+  /// Wall-clock deadline for the whole decision in milliseconds; 0 = none.
+  int64_t timeout_ms = 0;
+  /// Total step budget (search nodes, linearizations, expansions, derived
+  /// facts) for the whole decision; 0 = unlimited.
+  int64_t max_steps = 0;
+  /// Fan-out width for the per-disjunct containment scans of the
+  /// section3/theorem51/theorem52 regimes; <= 1 = serial. Parallelism
+  /// changes the verdict never and the reported witness sometimes.
+  int parallel_workers = 1;
 };
 
 /// Which part of the paper decided a containment question.

@@ -1,6 +1,8 @@
 #include "relcont/relative_containment.h"
 
 #include "binding/dom_plan.h"
+#include "common/budget.h"
+#include "common/parallel.h"
 #include "containment/canonical.h"
 #include "containment/comparison_containment.h"
 #include "containment/cq_containment.h"
@@ -10,6 +12,85 @@
 #include "trace/trace.h"
 
 namespace relcont {
+
+namespace {
+
+// The shared Π₂ᴾ hot loop: find some disjunct of `disjuncts` that `check`
+// reports NOT contained. Returns its index, nullopt when every disjunct is
+// covered, or an error status.
+//
+// Serial and parallel execution apply the SAME verdict policy, so the two
+// paths agree on every input:
+//   1. a definite counterexample (check returned false) always wins — even
+//      when some other disjunct's check erred (e.g. hit a structural cap):
+//      one failing disjunct already refutes the containment;
+//   2. otherwise the first error, by disjunct index, propagates;
+//   3. otherwise every disjunct completed affirmatively: contained.
+// The parallel path may report a different counterexample INDEX than the
+// serial path (whichever completes first cancels the rest) — the verdict is
+// deterministic, the witness choice is not.
+//
+// `check` must not touch the interner or any other shared mutable state:
+// with workers > 1 it runs concurrently on plain helper threads under a
+// region WorkBudget chained to the caller's (so global deadlines apply and
+// early exit cancels in-flight siblings).
+Result<std::optional<size_t>> FindUncoveredDisjunct(
+    const std::vector<Rule>& disjuncts, int workers,
+    const std::function<Result<bool>(const Rule&)>& check) {
+  const size_t n = disjuncts.size();
+  if (workers <= 1 || n <= 1) {
+    std::optional<Status> first_error;
+    for (size_t i = 0; i < n; ++i) {
+      Result<bool> r = check(disjuncts[i]);
+      if (!r.ok()) {
+        if (!first_error.has_value()) first_error = r.status();
+        continue;
+      }
+      if (!*r) return std::optional<size_t>(i);
+    }
+    if (first_error.has_value()) return *first_error;
+    return std::optional<size_t>(std::nullopt);
+  }
+
+  RELCONT_TRACE_SPAN("parallel_disjunct_scan");
+  WorkBudget region(CurrentBudget());
+  enum : char { kPending, kCovered, kUncovered, kError };
+  // Each slot is written by exactly one worker (the one that claimed index
+  // i) and read only after every worker has been joined.
+  std::vector<char> state(n, kPending);
+  std::vector<Status> errors(n);
+  ParallelScanStats stats =
+      ParallelScan(n, workers, &region, [&](size_t i) {
+        Result<bool> r = check(disjuncts[i]);
+        if (!r.ok()) {
+          errors[i] = r.status();
+          state[i] = kError;
+          return true;
+        }
+        state[i] = *r ? kCovered : kUncovered;
+        return *r;  // false => cancel the in-flight siblings
+      });
+  RELCONT_TRACE_COUNT(kParallelTasksSpawned,
+                      static_cast<uint64_t>(stats.helpers_spawned));
+  RELCONT_TRACE_COUNT(kParallelTasksCancelled,
+                      static_cast<uint64_t>(stats.items_unfinished));
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] == kUncovered) return std::optional<size_t>(i);
+  }
+  // No counterexample. If the CALLER's budget (the region's parent) died,
+  // the scan was truncated by deadline/steps, not by an early exit — that
+  // outranks per-disjunct errors, which may themselves just be cancellation
+  // echoes.
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("containment_check"));
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] == kError) return errors[i];
+  }
+  // With a healthy parent budget and no counterexample nothing was
+  // cancelled, so every disjunct completed affirmatively.
+  return std::optional<size_t>(std::nullopt);
+}
+
+}  // namespace
 
 Result<RelativeContainmentResult> RelativelyContained(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
@@ -27,16 +108,13 @@ Result<RelativeContainmentResult> RelativelyContained(
         out.plan2, PlanToUnion(p2, q2.goal, views, interner, options.unfold));
   }
   RELCONT_TRACE_SPAN("containment_check");
-  out.contained = true;
-  for (const Rule& d : out.plan1.disjuncts) {
-    RELCONT_ASSIGN_OR_RETURN(bool contained,
-                             CqContainedInUnion(d, out.plan2));
-    if (!contained) {
-      out.contained = false;
-      out.witness = d;
-      break;
-    }
-  }
+  RELCONT_ASSIGN_OR_RETURN(
+      std::optional<size_t> uncovered,
+      FindUncoveredDisjunct(
+          out.plan1.disjuncts, options.parallel_workers,
+          [&](const Rule& d) { return CqContainedInUnion(d, out.plan2); }));
+  out.contained = !uncovered.has_value();
+  if (uncovered.has_value()) out.witness = out.plan1.disjuncts[*uncovered];
   return out;
 }
 
@@ -172,13 +250,15 @@ Result<bool> RelativelyContainedViaExpansion(
         q2_ucq, UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
   }
   RELCONT_TRACE_SPAN("containment_check");
-  for (const Rule& d : p1_exp.disjuncts) {
-    RELCONT_ASSIGN_OR_RETURN(bool contained,
-                             CqContainedInUnionComplete(d, q2_ucq));
-    if (!contained) {
-      if (witness != nullptr) *witness = d;
-      return false;
-    }
+  RELCONT_ASSIGN_OR_RETURN(
+      std::optional<size_t> uncovered,
+      FindUncoveredDisjunct(p1_exp.disjuncts, options.parallel_workers,
+                            [&](const Rule& d) {
+                              return CqContainedInUnionComplete(d, q2_ucq);
+                            }));
+  if (uncovered.has_value()) {
+    if (witness != nullptr) *witness = p1_exp.disjuncts[*uncovered];
+    return false;
   }
   return true;
 }
@@ -197,24 +277,31 @@ Result<RelativeContainmentResult> RelativelyContainedWithComparisons(
                                        options.unfold));
   }
   RELCONT_TRACE_SPAN("containment_check");
-  out.contained = true;
+  // Compare over consistent instances: each left disjunct may assume every
+  // comparison its views guarantee. Augmentation touches the interner, so
+  // it runs up front on this thread; the fanned-out checks below are
+  // interner-free.
+  std::vector<Rule> augmented;
+  augmented.reserve(out.plan1.disjuncts.size());
   for (const Rule& d : out.plan1.disjuncts) {
-    // Compare over consistent instances: the left disjunct may assume every
-    // comparison its views guarantee.
-    RELCONT_ASSIGN_OR_RETURN(Rule augmented,
+    RELCONT_ASSIGN_OR_RETURN(Rule a,
                              AugmentWithViewConstraints(d, views, interner));
-    RELCONT_ASSIGN_OR_RETURN(bool contained,
-                             CqContainedInUnionComplete(augmented, out.plan2));
-    if (!contained) {
-      out.contained = false;
-      // The witness is the *augmented* disjunct — the raw disjunct without
-      // its view-guaranteed comparisons may still be contained, so only the
-      // augmented form genuinely fails on a consistent source instance
-      // (this mirrors the section3 path, where the disjunct that failed the
-      // check is exactly the witness reported).
-      out.witness = augmented;
-      break;
-    }
+    augmented.push_back(std::move(a));
+  }
+  RELCONT_ASSIGN_OR_RETURN(
+      std::optional<size_t> uncovered,
+      FindUncoveredDisjunct(augmented, options.parallel_workers,
+                            [&](const Rule& a) {
+                              return CqContainedInUnionComplete(a, out.plan2);
+                            }));
+  out.contained = !uncovered.has_value();
+  if (uncovered.has_value()) {
+    // The witness is the *augmented* disjunct — the raw disjunct without
+    // its view-guaranteed comparisons may still be contained, so only the
+    // augmented form genuinely fails on a consistent source instance
+    // (this mirrors the section3 path, where the disjunct that failed the
+    // check is exactly the witness reported).
+    out.witness = augmented[*uncovered];
   }
   return out;
 }

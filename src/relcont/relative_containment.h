@@ -25,6 +25,14 @@ struct GoalQuery {
 
 struct RelativeContainmentOptions {
   UnfoldOptions unfold;
+  /// Fan-out width for the per-disjunct containment checks (the Π₂ᴾ hot
+  /// loop): <= 1 runs serially on the calling thread; k > 1 shares the
+  /// disjuncts across up to k threads (caller included) with
+  /// first-counterexample-wins early exit. The VERDICT is identical to the
+  /// serial path's; only which witness disjunct gets reported may differ.
+  /// Plan construction (which touches the interner) always stays on the
+  /// calling thread.
+  int parallel_workers = 1;
 };
 
 /// Detailed outcome of a relative-containment decision.

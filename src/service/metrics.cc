@@ -110,6 +110,9 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(const CacheStats& cache) const {
   s.requests = requests();
   s.errors = errors();
   s.request_cache_hits = cache_hits();
+  s.deadline_exceeded = deadline_exceeded();
+  s.parallel_tasks_spawned = tasks_spawned();
+  s.parallel_tasks_completed = tasks_completed();
   for (int i = 0; i < kNumRegimes; ++i) {
     Regime regime = static_cast<Regime>(i);
     uint64_t count = RegimeCount(regime);

@@ -76,6 +76,18 @@ class ServiceMetrics {
   void RecordRequest(Regime regime, uint64_t latency_micros, bool error,
                      bool cache_hit);
 
+  /// Records one request's budget outcome: how many parallel helper tasks
+  /// its decision spawned/completed (equal after every request — the pool-
+  /// quiescence invariant tests assert) and whether its deadline expired.
+  void RecordBudget(uint64_t tasks_spawned, uint64_t tasks_completed,
+                    bool deadline_exceeded) {
+    tasks_spawned_.fetch_add(tasks_spawned, std::memory_order_relaxed);
+    tasks_completed_.fetch_add(tasks_completed, std::memory_order_relaxed);
+    if (deadline_exceeded) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   /// Folds one recorded trace into the observability aggregates: every
   /// span adds to the cumulative timer and call count of its phase (spans
   /// aggregate by name), every counter adds to the regime's totals, and
@@ -89,6 +101,15 @@ class ServiceMetrics {
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
   uint64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t deadline_exceeded() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_spawned() const {
+    return tasks_spawned_.load(std::memory_order_relaxed);
+  }
+  uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
   }
   uint64_t RegimeCount(Regime regime) const {
     return by_regime_[static_cast<int>(regime)].load(
@@ -141,6 +162,9 @@ class ServiceMetrics {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> tasks_spawned_{0};
+  std::atomic<uint64_t> tasks_completed_{0};
   std::array<std::atomic<uint64_t>, kNumRegimes> by_regime_{};
   LatencyHistogram latency_;
 

@@ -1,5 +1,6 @@
 #include "service/protocol.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "datalog/parser.h"
@@ -31,6 +32,39 @@ std::string JoinFrom(const std::vector<std::string>& tokens, size_t begin,
     out += tokens[i];
   }
   return out;
+}
+
+/// Pops trailing `key=value` budget options off `tokens` and applies them
+/// to `options`. Recognized keys: timeout_ms (per-request deadline),
+/// budget (max decision steps), workers (parallel scan width). Returns a
+/// newline-terminated "ERR ..." line on a malformed option, "" on success.
+std::string ConsumeBudgetOptions(std::vector<std::string>* tokens,
+                                 DecideOptions* options) {
+  while (!tokens->empty() &&
+         tokens->back().find('=') != std::string::npos) {
+    const std::string& token = tokens->back();
+    size_t eq = token.find('=');
+    std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    char* end = nullptr;
+    long long parsed = std::strtoll(value.c_str(), &end, 10);
+    if (value.empty() || end == nullptr || *end != '\0' || parsed <= 0) {
+      return "ERR InvalidArgument: option '" + key +
+             "' needs a positive integer, got '" + value + "'\n";
+    }
+    if (key == "timeout_ms") {
+      options->timeout_ms = parsed;
+    } else if (key == "budget") {
+      options->max_steps = parsed;
+    } else if (key == "workers") {
+      options->parallel_workers = static_cast<int>(parsed);
+    } else {
+      return "ERR InvalidArgument: unknown option '" + key +
+             "' — try timeout_ms=, budget=, or workers=\n";
+    }
+    tokens->pop_back();
+  }
+  return "";
 }
 
 }  // namespace
@@ -68,10 +102,16 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
     return "CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> "
            "<adornment>]...\n"
            "DEFINE <name> <rule> [<rule>]...\n"
-           "CONTAINED? <q1> <q2> @<catalog>\n"
-           "EXPLAIN [JSON] <q1> <q2> @<catalog>\n"
+           "CONTAINED? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
+           "[workers=N]\n"
+           "EXPLAIN [JSON] <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
+           "[workers=N]\n"
            "BATCH BEGIN ... BATCH END\n"
-           "CATALOGS | METRICS | HELP\n";
+           "CATALOGS | METRICS | HELP\n"
+           "  timeout_ms: per-request deadline; budget: max decision "
+           "steps; workers: parallel scan width.\n"
+           "  A request past its bound answers ERR BoundReached (not a "
+           "verdict).\n";
   }
   return "ERR InvalidArgument: unknown command '" + command +
          "' — try HELP\n";
@@ -148,10 +188,13 @@ std::string ServerSession::HandleDefine(const std::string& rest) {
 
 std::string ServerSession::HandleContained(const std::string& rest) {
   std::vector<std::string> tokens = Tokenize(rest);
-  if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
-    return "ERR InvalidArgument: expected CONTAINED? <q1> <q2> @<catalog>\n";
-  }
   DecisionRequest request;
+  std::string option_error = ConsumeBudgetOptions(&tokens, &request.options);
+  if (!option_error.empty()) return option_error;
+  if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
+    return "ERR InvalidArgument: expected CONTAINED? <q1> <q2> @<catalog> "
+           "[timeout_ms=N] [budget=N] [workers=N]\n";
+  }
   for (int side = 0; side < 2; ++side) {
     auto it = queries_.find(tokens[side]);
     if (it == queries_.end()) {
@@ -177,11 +220,13 @@ std::string ServerSession::HandleExplain(const std::string& rest) {
   std::vector<std::string> tokens = Tokenize(rest);
   bool json = !tokens.empty() && tokens[0] == "JSON";
   if (json) tokens.erase(tokens.begin());
+  DecisionRequest request;
+  std::string option_error = ConsumeBudgetOptions(&tokens, &request.options);
+  if (!option_error.empty()) return option_error;
   if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
     return "ERR InvalidArgument: expected EXPLAIN [JSON] <q1> <q2> "
-           "@<catalog>\n";
+           "@<catalog> [timeout_ms=N] [budget=N] [workers=N]\n";
   }
-  DecisionRequest request;
   for (int side = 0; side < 2; ++side) {
     auto it = queries_.find(tokens[side]);
     if (it == queries_.end()) {

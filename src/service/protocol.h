@@ -22,8 +22,8 @@ using DecisionObserver =
 ///
 ///   CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> <adr>]...
 ///   DEFINE <name> <rule> [<rule>]...
-///   CONTAINED? <q1> <q2> @<catalog>
-///   EXPLAIN [JSON] <q1> <q2> @<catalog>   (traced, cache-bypassing decision)
+///   CONTAINED? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] [workers=N]
+///   EXPLAIN [JSON] <q1> <q2> @<catalog> [...]  (traced, cache-bypassing)
 ///   BATCH BEGIN ... BATCH END       (CONTAINED? lines fan out in parallel)
 ///   CATALOGS | METRICS | HELP
 ///

@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "common/budget.h"
 #include "containment/canonical.h"
 #include "datalog/parser.h"
 
@@ -24,6 +25,12 @@ Result<GoalQuery> ParseGoalQuery(const std::string& text,
 
 /// Every option that can change a decision must appear in the key, or the
 /// cache would serve a decision computed under different bounds.
+///
+/// The budget fields (timeout_ms, max_steps, parallel_workers) are
+/// deliberately absent: a budget can only turn a decision into a non-OK
+/// kBoundReached status, and non-OK results are never cached — so every
+/// cached verdict is budget-independent, and requests that differ only in
+/// budget may share an entry.
 std::string OptionsFingerprint(const DecideOptions& o) {
   std::string out = std::to_string(o.max_rule_applications);
   out += ',';
@@ -122,6 +129,19 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
                                             WorkerContext* ctx) {
   auto start = std::chrono::steady_clock::now();
   DecisionResponse out;
+  // The service owns the one budget governing this request; the library
+  // sees it via the installed BudgetScope and skips its own (decide.cc).
+  // Request options take precedence over the config defaults.
+  WorkBudget budget;
+  int64_t timeout_ms = request.options.timeout_ms > 0
+                           ? request.options.timeout_ms
+                           : config_.default_timeout_ms;
+  if (timeout_ms > 0) {
+    budget.set_timeout(std::chrono::milliseconds(timeout_ms));
+  }
+  if (request.options.max_steps > 0) {
+    budget.set_max_steps(request.options.max_steps);
+  }
   std::shared_ptr<trace::TraceContext> trace_ctx;
   std::optional<trace::TraceScope> trace_scope;
   if (request.collect_trace || config_.trace_requests) {
@@ -155,10 +175,15 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
         return Status::OK();
       }
     }
+    DecideOptions options = request.options;
+    if (options.parallel_workers <= 1) {
+      options.parallel_workers = config_.default_parallel_workers;
+    }
+    BudgetScope budget_scope(&budget);
     RELCONT_ASSIGN_OR_RETURN(
         Decision decision,
         DecideRelativeContainment(q1, q2, catalog->views, catalog->patterns,
-                                  ctx->interner(), request.options));
+                                  ctx->interner(), options));
     out.contained = decision.contained;
     out.regime = decision.regime;
     if (decision.witness.has_value()) {
@@ -177,6 +202,8 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
           .count());
   metrics_.RecordRequest(out.regime, out.latency_micros, !out.status.ok(),
                          out.cache_hit);
+  metrics_.RecordBudget(budget.tasks_spawned(), budget.tasks_completed(),
+                        budget.reason() == BudgetReason::kDeadline);
   if (trace_ctx != nullptr) {
     metrics_.RecordTrace(out.regime, out.latency_micros, *trace_ctx,
                          DescribeRequest(request));

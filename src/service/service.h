@@ -42,6 +42,13 @@ struct ServiceConfig {
   bool trace_requests = false;
   /// How many worst-latency traces METRICS retains (0 disables the log).
   size_t slow_log_capacity = 4;
+  /// Deadline applied to requests that do not set their own timeout_ms
+  /// (0 = no default deadline). A request past its deadline answers
+  /// kBoundReached — a bound, not an error.
+  int64_t default_timeout_ms = 0;
+  /// Worker-thread count for the parallel per-disjunct scan, applied to
+  /// requests that do not set their own parallel_workers. 1 = serial.
+  int default_parallel_workers = 1;
 };
 
 /// One containment question. The query texts use the ParseProgram syntax

@@ -72,6 +72,12 @@ std::string_view CounterName(Counter c) {
       return "dom_cores_checked";
     case Counter::kDomSaturationRounds:
       return "dom_saturation_rounds";
+    case Counter::kBoundHits:
+      return "bound_hits";
+    case Counter::kParallelTasksSpawned:
+      return "parallel_tasks_spawned";
+    case Counter::kParallelTasksCancelled:
+      return "parallel_tasks_cancelled";
     case Counter::kNumCounters:
       break;
   }

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -20,6 +21,7 @@
 #include "gtest/gtest.h"
 #include "obs/access_log.h"
 #include "obs/server.h"
+#include "relcont/pi2p_reduction.h"
 #include "service/service.h"
 
 namespace relcont {
@@ -297,6 +299,71 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
   EXPECT_NE(extract(reply.body, "\nrelcont_cache_hits_total "), "0");
   EXPECT_NE(reply.body.find("relcont_build_info{version=\""),
             std::string::npos);
+}
+
+/// Acceptance criterion for deadline-aware serving: a request that carries
+/// timeout_ms=1 against a Π₂ᵖ-hard pair (2^8 plan disjuncts, tens of
+/// milliseconds of serial scanning) comes back as a well-formed bound
+/// error well before the decision could have finished — and the trip is
+/// visible in the Prometheus exposition.
+TEST_F(ObsServerTest, ExpiredDeadlineAnswersBoundReachedFast) {
+  // Render the hard pair through the text API.
+  Interner gen;
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/8,
+                           /*num_clauses=*/16, /*seed=*/11);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &gen);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  std::string views_text;
+  for (const ViewDefinition& v : inst->views.views()) {
+    views_text += v.rule.ToString(gen);
+    views_text += '\n';
+  }
+  ASSERT_TRUE(service_.catalogs().Register("qbf", views_text).ok());
+  auto render = [&gen](const GoalQuery& q) {
+    std::string text;  // multi-rule DEFINE: rules joined on one line
+    for (const Rule& r : q.program.rules) {
+      if (!text.empty()) text += ' ';
+      text += r.ToString(gen);
+    }
+    return text;
+  };
+
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("DEFINE hq1 " + render(inst->q2) + "\n");
+  EXPECT_NE(client.ReadLine().find("OK"), std::string::npos);
+  client.Send("DEFINE hq2 " + render(inst->q1) + "\n");
+  EXPECT_NE(client.ReadLine().find("OK"), std::string::npos);
+
+  auto start = std::chrono::steady_clock::now();
+  client.Send("CONTAINED? hq1 hq2 @qbf timeout_ms=1 workers=4\n");
+  std::string reply = client.ReadLine();
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  EXPECT_EQ(reply.substr(0, 3), "ERR") << reply;
+  EXPECT_NE(reply.find("bound reached"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("deadline exceeded"), std::string::npos) << reply;
+  // The ISSUE budget: answered in under 50 ms (sanitizer builds get slack —
+  // instrumented steps inflate the stride between deadline checks).
+  int64_t bound_ms = 50;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  bound_ms = 500;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  bound_ms = 500;
+#endif
+#endif
+  EXPECT_LT(elapsed_ms, bound_ms) << reply;
+
+  // The trip shows up in the exposition, and the helper pool is quiescent.
+  HttpReply metrics = Get(port(), "/metrics");
+  EXPECT_EQ(metrics.status_line, "HTTP/1.1 200 OK");
+  EXPECT_NE(metrics.body.find("relcont_deadline_exceeded_total 1"),
+            std::string::npos);
+  EXPECT_EQ(service_.metrics().tasks_spawned(),
+            service_.metrics().tasks_completed());
 }
 
 TEST_F(ObsServerTest, AccessLogRecordsDecisionsAcrossSessions) {

@@ -6,6 +6,7 @@
 #include "containment/canonical.h"
 #include "containment/homomorphism.h"
 #include "datalog/parser.h"
+#include "relcont/pi2p_reduction.h"
 #include "relcont/relative_containment.h"
 #include "relcont/workload.h"
 #include "rewriting/inverse_rules.h"
@@ -391,6 +392,151 @@ TEST(ServiceStressTest, EightThreadBatchMatchesSerialBaseline) {
   EXPECT_GE(stats.hits, requests.size() - 8 * distinct.size());
 }
 
+TEST(ServiceStressTest, ParallelWorkersUnderConcurrentLoadMatchSerial) {
+  // Batch threads × per-request disjunct workers: every decision fans out
+  // its own helpers while eight batch workers run at once. Verdicts must
+  // still equal the fully serial baseline, and the helper pool must be
+  // quiescent once ExecuteBatch returns.
+  std::string views_text;
+  std::vector<DecisionRequest> distinct = RandomWorkload(12, &views_text);
+  std::vector<DecisionRequest> requests;
+  for (int i = 0; i < 240; ++i) {
+    DecisionRequest r = distinct[i % distinct.size()];
+    r.options.parallel_workers = 4;
+    r.bypass_cache = true;  // force a real decision on every repeat
+    requests.push_back(std::move(r));
+  }
+
+  ContainmentService serial;
+  ASSERT_TRUE(serial.catalogs().Register("rand", views_text).ok());
+  std::vector<DecisionRequest> serial_requests = requests;
+  for (DecisionRequest& r : serial_requests) r.options.parallel_workers = 1;
+  std::vector<DecisionResponse> baseline =
+      serial.ExecuteBatch(serial_requests, 1);
+
+  ContainmentService parallel;
+  ASSERT_TRUE(parallel.catalogs().Register("rand", views_text).ok());
+  std::vector<DecisionResponse> concurrent =
+      parallel.ExecuteBatch(requests, 8);
+
+  ASSERT_EQ(baseline.size(), requests.size());
+  ASSERT_EQ(concurrent.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(baseline[i].status.ok()) << baseline[i].status.ToString();
+    ASSERT_TRUE(concurrent[i].status.ok())
+        << concurrent[i].status.ToString();
+    EXPECT_EQ(concurrent[i].contained, baseline[i].contained) << "at " << i;
+    EXPECT_EQ(concurrent[i].regime, baseline[i].regime) << "at " << i;
+  }
+  // Quiescence: every helper the decisions spawned has been joined; the
+  // spawn/complete counters can only balance if no task is still running.
+  EXPECT_EQ(parallel.metrics().tasks_spawned(),
+            parallel.metrics().tasks_completed());
+  EXPECT_EQ(parallel.metrics().deadline_exceeded(), 0u);
+}
+
+// --- deadlines and step budgets ---------------------------------------------
+
+// Renders a Π₂ᵖ-hard pair through the text API: a random ∀∃-3CNF reduction
+// whose disjunct scan (2^8 disjuncts, tens of milliseconds serially) takes
+// well over any millisecond-scale deadline.
+void HardRequestWorkload(std::string* views_text, DecisionRequest* request) {
+  Interner gen;
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/8,
+                           /*num_clauses=*/16, /*seed=*/11);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &gen);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  views_text->clear();
+  for (const ViewDefinition& v : inst->views.views()) {
+    *views_text += v.rule.ToString(gen);
+    *views_text += '\n';
+  }
+  // The containment question of the reduction is q2 ⊑ q1; the goal rule
+  // must come first (ParseGoalQuery takes the first head as the goal).
+  auto render = [&gen](const GoalQuery& q) {
+    std::string text;
+    for (const Rule& r : q.program.rules) {
+      text += r.ToString(gen);
+      text += '\n';
+    }
+    return text;
+  };
+  request->q1_text = render(inst->q2);
+  request->q2_text = render(inst->q1);
+  request->catalog = "qbf";
+}
+
+TEST(ServiceDeadlineTest, MidFlightDeadlineAnswersBoundReachedAndQuiesces) {
+  std::string views_text;
+  DecisionRequest request;
+  HardRequestWorkload(&views_text, &request);
+  request.options.timeout_ms = 1;
+  request.options.parallel_workers = 4;
+
+  ContainmentService service;
+  ASSERT_TRUE(service.catalogs().Register("qbf", views_text).ok());
+  WorkerContext ctx;
+  DecisionResponse response = service.Decide(request, &ctx);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kBoundReached)
+      << response.status.ToString();
+  EXPECT_NE(response.status.message().find("deadline exceeded"),
+            std::string::npos)
+      << response.status.ToString();
+  // The expired request still quiesced its helpers before returning and
+  // was counted by the deadline metric.
+  EXPECT_GE(service.metrics().deadline_exceeded(), 1u);
+  EXPECT_EQ(service.metrics().tasks_spawned(),
+            service.metrics().tasks_completed());
+  // A bound is an error, not a verdict: nothing may enter the cache.
+  CacheStats stats = service.cache().Stats();
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ServiceDeadlineTest, StepBudgetTripsDeterministically) {
+  std::string views_text;
+  DecisionRequest request;
+  HardRequestWorkload(&views_text, &request);
+  request.options.max_steps = 8;
+
+  ContainmentService service;
+  ASSERT_TRUE(service.catalogs().Register("qbf", views_text).ok());
+  WorkerContext ctx;
+  for (int round = 0; round < 3; ++round) {
+    DecisionResponse response = service.Decide(request, &ctx);
+    ASSERT_FALSE(response.status.ok());
+    EXPECT_EQ(response.status.code(), StatusCode::kBoundReached)
+        << response.status.ToString();
+    EXPECT_NE(response.status.message().find("step budget exhausted"),
+              std::string::npos)
+        << response.status.ToString();
+  }
+  // Step bounds are not deadline trips.
+  EXPECT_EQ(service.metrics().deadline_exceeded(), 0u);
+  // Lifting the budget on the same worker context decides normally: the
+  // trip left no sticky state behind.
+  request.options.max_steps = 0;
+  DecisionResponse full = service.Decide(request, &ctx);
+  EXPECT_TRUE(full.status.ok()) << full.status.ToString();
+}
+
+TEST(ServiceDeadlineTest, ConfigDefaultTimeoutAppliesWhenRequestSetsNone) {
+  std::string views_text;
+  DecisionRequest request;
+  HardRequestWorkload(&views_text, &request);
+
+  ServiceConfig config;
+  config.default_timeout_ms = 1;
+  ContainmentService service(config);
+  ASSERT_TRUE(service.catalogs().Register("qbf", views_text).ok());
+  WorkerContext ctx;
+  DecisionResponse response = service.Decide(request, &ctx);
+  ASSERT_FALSE(response.status.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kBoundReached)
+      << response.status.ToString();
+  EXPECT_GE(service.metrics().deadline_exceeded(), 1u);
+}
+
 // --- protocol ---------------------------------------------------------------
 
 TEST(ProtocolTest, EndToEndSession) {
@@ -448,6 +594,40 @@ TEST(ProtocolTest, ErrorsAreLineDelimited) {
   EXPECT_NE(unknown_catalog.find("unknown catalog"), std::string::npos);
 }
 
+TEST(ProtocolTest, BudgetOptionsParseAndSurfaceBounds) {
+  ContainmentService service;
+  ServerSession session(&service);
+  session.HandleLine("CATALOG c VIEW v(X, Y) :- p(X, Y).");
+  session.HandleLine("DEFINE a a(X) :- p(X, X).");
+  session.HandleLine("DEFINE b b(X) :- p(X, Y).");
+
+  // Generous bounds leave the verdict untouched.
+  std::string yes = session.HandleLine(
+      "CONTAINED? a b @c timeout_ms=60000 budget=1000000 workers=4");
+  EXPECT_EQ(yes.rfind("YES section3", 0), 0u) << yes;
+
+  // A one-step budget on an uncached pair turns the decision into the
+  // uniform bound error, and the bound never enters the cache.
+  std::string bound = session.HandleLine("CONTAINED? b a @c budget=1");
+  EXPECT_EQ(bound.rfind("ERR", 0), 0u) << bound;
+  EXPECT_NE(bound.find("bound reached"), std::string::npos) << bound;
+  std::string retry = session.HandleLine("CONTAINED? b a @c");
+  EXPECT_EQ(retry.rfind("NO section3 MISS", 0), 0u) << retry;
+
+  // Malformed options are usage errors, not silent defaults.
+  for (const char* bad :
+       {"CONTAINED? a b @c timeout_ms=abc", "CONTAINED? a b @c budget=0",
+        "CONTAINED? a b @c workers=-2", "CONTAINED? a b @c frobs=3"}) {
+    std::string err = session.HandleLine(bad);
+    EXPECT_EQ(err.rfind("ERR", 0), 0u) << bad << " -> " << err;
+  }
+
+  // EXPLAIN accepts the same trailing options.
+  std::string explain =
+      session.HandleLine("EXPLAIN a b @c timeout_ms=60000 workers=2");
+  EXPECT_EQ(explain.rfind("ERR", 0), std::string::npos) << explain;
+}
+
 // --- metrics ----------------------------------------------------------------
 
 TEST(MetricsTest, HistogramBucketsAndDump) {
@@ -487,6 +667,23 @@ TEST(MetricsTest, HistogramBucketsAndDump) {
   EXPECT_NE(dump.find("latency_us_sum 106"), std::string::npos);
   EXPECT_NE(dump.find("latency_us_count 4"), std::string::npos);
   EXPECT_EQ(metrics.latency().SumMicros(), 106u);
+}
+
+TEST(MetricsTest, BudgetCountersAppearInDumpAndSnapshot) {
+  ServiceMetrics metrics;
+  metrics.RecordBudget(/*tasks_spawned=*/5, /*tasks_completed=*/5,
+                       /*deadline_exceeded=*/true);
+  metrics.RecordBudget(/*tasks_spawned=*/2, /*tasks_completed=*/2,
+                       /*deadline_exceeded=*/false);
+  EXPECT_EQ(metrics.deadline_exceeded(), 1u);
+  EXPECT_EQ(metrics.tasks_spawned(), 7u);
+  EXPECT_EQ(metrics.tasks_completed(), 7u);
+  std::string dump = metrics.Dump(CacheStats{});
+  EXPECT_NE(dump.find("deadline_exceeded 1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("parallel_tasks_spawned 7"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("parallel_tasks_completed 7"), std::string::npos)
+      << dump;
 }
 
 TEST(MetricsTest, CumulativeBucketsAreMonotone) {

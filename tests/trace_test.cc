@@ -15,6 +15,7 @@
 #include "binding/adornment.h"
 #include "relcont/binding_containment.h"
 #include "relcont/decide.h"
+#include "relcont/pi2p_reduction.h"
 #include "relcont/relative_containment.h"
 #include "rewriting/inverse_rules.h"
 
@@ -425,6 +426,71 @@ TEST_F(TraceDecisionTest, DomCountersMatchResultFields) {
   // the dom pipeline's own phases are the markers.
   EXPECT_TRUE(names.count("dom_containment"));
   EXPECT_TRUE(names.count("plan_executable"));
+}
+
+// --- budget and parallel counters -------------------------------------------
+
+TEST_F(TraceDecisionTest, BoundHitsCounterTracksBudgetTrips) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "trace hooks compiled out";
+  ViewSet views = V("v(X, Y) :- p(X, Y).");
+  GoalQuery q1 = GQ("a(X) :- p(X, Y), p(Y, Z).", "a");
+  GoalQuery q2 = GQ("b(X) :- p(X, Y).", "b");
+  DecideOptions options;
+  options.max_steps = 1;
+  TraceContext ctx;
+  Result<Decision> r = [&]() {
+    TraceScope scope(&ctx);
+    return DecideRelativeContainment(q1, q2, views, {}, &interner_, options);
+  }();
+  // The one-step budget trips, the trip mints exactly the uniform
+  // kBoundReached status, and every mint bumps the counter.
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBoundReached)
+      << r.status().ToString();
+  EXPECT_GE(ctx.TotalCount(Counter::kBoundHits), 1u);
+
+  // An unbounded rerun of the same question mints no bound status.
+  TraceContext clean;
+  Result<Decision> ok = [&]() {
+    TraceScope scope(&clean);
+    return DecideRelativeContainment(q1, q2, views, {}, &interner_, {});
+  }();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(clean.TotalCount(Counter::kBoundHits), 0u);
+}
+
+TEST_F(TraceDecisionTest, ParallelScanCountersTrackHelperFanOut) {
+  if (!trace::kCompiledIn) GTEST_SKIP() << "trace hooks compiled out";
+  // A Π₂ᵖ reduction with 2^3 = 8 plan disjuncts gives the scan something
+  // to share across helpers.
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/3,
+                           /*num_clauses=*/6, /*seed=*/5);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner_);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+
+  TraceContext serial;
+  Result<Decision> serial_r = [&]() {
+    TraceScope scope(&serial);
+    return DecideRelativeContainment(inst->q2, inst->q1, inst->views, {},
+                                     &interner_, {});
+  }();
+  ASSERT_TRUE(serial_r.ok()) << serial_r.status().ToString();
+  EXPECT_EQ(serial.TotalCount(Counter::kParallelTasksSpawned), 0u);
+
+  DecideOptions options;
+  options.parallel_workers = 4;
+  TraceContext parallel;
+  Result<Decision> parallel_r = [&]() {
+    TraceScope scope(&parallel);
+    return DecideRelativeContainment(inst->q2, inst->q1, inst->views, {},
+                                     &interner_, options);
+  }();
+  ASSERT_TRUE(parallel_r.ok()) << parallel_r.status().ToString();
+  EXPECT_EQ(parallel_r->contained, serial_r->contained);
+  // The fan-out actually spawned helpers (recorded on the calling thread,
+  // where the trace context lives), bounded by the requested width.
+  EXPECT_GE(parallel.TotalCount(Counter::kParallelTasksSpawned), 1u);
+  EXPECT_LE(parallel.TotalCount(Counter::kParallelTasksSpawned), 3u);
 }
 
 }  // namespace
