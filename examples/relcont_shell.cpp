@@ -19,6 +19,7 @@
 //   contained <q1> <q2>    relative containment (dispatches on patterns)
 //   classical <q1> <q2>    traditional containment
 //   plan <query>           show the unfolded maximally-contained plan
+//   rewrite <q1> <q2>      plan-level containment P1^exp ⊑ Q2
 //   explain <query>        certain answers with source provenance
 //   relevant <query>       sources the query's answers depend on
 //   lossless <query>       are the sources lossless for the query?
@@ -93,6 +94,8 @@ class Shell {
       Classical(rest);
     } else if (command == "plan") {
       ShowPlan(rest);
+    } else if (command == "rewrite") {
+      Rewrite(rest);
     } else if (command == "explain") {
       Explain(rest);
     } else if (command == "relevant") {
@@ -122,6 +125,7 @@ class Shell {
         "  contained <q1> <q2>   relative containment\n"
         "  classical <q1> <q2>   traditional containment\n"
         "  plan <query>          show the maximally-contained plan\n"
+        "  rewrite <q1> <q2>     plan-level containment P1^exp ⊑ Q2\n"
         "  relevant <query>      sources the query's answers depend on\n"
         "  explain <query>       certain answers with source provenance\n"
         "  lossless <query>      are the sources lossless for the query?\n"
@@ -301,6 +305,43 @@ class Shell {
     }
     if (plan->disjuncts.empty()) std::printf("  (empty plan)\n");
     std::printf("%s", plan->ToString(interner_).c_str());
+  }
+
+  void Rewrite(const std::string& text) {
+    std::istringstream in(text);
+    std::string n1, n2;
+    in >> n1 >> n2;
+    const GoalQuery* q1 = FindQuery(n1);
+    const GoalQuery* q2 = FindQuery(n2);
+    if (q1 == nullptr || q2 == nullptr) return;
+    if (has_patterns_) {
+      Result<BindingRelativeResult> r = RelativelyContainedWithBindingPatterns(
+          *q1, *q2, views_, patterns_, &interner_);
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s (executable-plan containment under binding "
+                  "patterns)\n",
+                  r->contained ? "yes" : "no");
+      if (!r->contained && r->counterexample.has_value()) {
+        std::printf("  witness: %s\n",
+                    r->counterexample->ToString(interner_).c_str());
+      }
+      return;
+    }
+    Rule witness;
+    Result<bool> r = RelativelyContainedViaExpansion(*q1, *q2, views_,
+                                                     &interner_, {}, &witness);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s (plan-level containment P1^exp ⊑ Q2)\n",
+                *r ? "yes" : "no");
+    if (!*r) {
+      std::printf("  witness: %s\n", witness.ToString(interner_).c_str());
+    }
   }
 
   void Explain(const std::string& text) {

@@ -74,10 +74,22 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
                ULL(regime.count));
   }
   AppendLine(&out,
+             "plan_requests_total %llu\nrewrite_requests_total %llu\n"
+             "plan_errors_total %llu\nunknown_verbs_total %llu\n",
+             ULL(s.plan_requests), ULL(s.rewrite_requests),
+             ULL(s.plan_errors), ULL(s.unknown_verbs));
+  AppendLine(&out,
              "cache_hits %llu\ncache_misses %llu\ncache_evictions "
              "%llu\ncache_entries %llu\n",
              ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
              ULL(s.cache.entries));
+  AppendLine(&out,
+             "plan_cache_hits %llu\nplan_cache_misses %llu\n"
+             "plan_cache_evictions %llu\nplan_cache_invalidated %llu\n"
+             "plan_cache_entries %llu\n",
+             ULL(s.plan_cache.hits), ULL(s.plan_cache.misses),
+             ULL(s.plan_cache.evictions), ULL(s.plan_cache.invalidated),
+             ULL(s.plan_cache.entries));
   for (const HistogramBucket& bucket : s.latency_buckets) {
     if (bucket.unbounded) {
       AppendLine(&out, "latency_us_bucket{le=\"+Inf\"} %llu\n",
@@ -202,6 +214,48 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              "relcont_cache_entries %llu\n",
              ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
              ULL(s.cache.entries));
+  AppendLine(&out,
+             "# HELP relcont_plan_requests_total PLAN? requests answered "
+             "(including errors).\n"
+             "# TYPE relcont_plan_requests_total counter\n"
+             "relcont_plan_requests_total %llu\n"
+             "# HELP relcont_rewrite_requests_total REWRITE? requests "
+             "answered (including errors).\n"
+             "# TYPE relcont_rewrite_requests_total counter\n"
+             "relcont_rewrite_requests_total %llu\n"
+             "# HELP relcont_plan_errors_total Planner requests answered "
+             "with a non-OK status.\n"
+             "# TYPE relcont_plan_errors_total counter\n"
+             "relcont_plan_errors_total %llu\n"
+             "# HELP relcont_unknown_verb_total Protocol lines rejected "
+             "because no handler claims their verb.\n"
+             "# TYPE relcont_unknown_verb_total counter\n"
+             "relcont_unknown_verb_total %llu\n",
+             ULL(s.plan_requests), ULL(s.rewrite_requests),
+             ULL(s.plan_errors), ULL(s.unknown_verbs));
+  AppendLine(&out,
+             "# HELP relcont_plan_cache_hits_total Plan-cache lookup hits.\n"
+             "# TYPE relcont_plan_cache_hits_total counter\n"
+             "relcont_plan_cache_hits_total %llu\n"
+             "# HELP relcont_plan_cache_misses_total Plan-cache lookup "
+             "misses.\n"
+             "# TYPE relcont_plan_cache_misses_total counter\n"
+             "relcont_plan_cache_misses_total %llu\n"
+             "# HELP relcont_plan_cache_evictions_total LRU evictions from "
+             "the plan cache.\n"
+             "# TYPE relcont_plan_cache_evictions_total counter\n"
+             "relcont_plan_cache_evictions_total %llu\n"
+             "# HELP relcont_plan_cache_invalidated_total Plan-cache "
+             "entries dropped by catalog re-registration.\n"
+             "# TYPE relcont_plan_cache_invalidated_total counter\n"
+             "relcont_plan_cache_invalidated_total %llu\n"
+             "# HELP relcont_plan_cache_entries Entries currently resident "
+             "in the plan cache.\n"
+             "# TYPE relcont_plan_cache_entries gauge\n"
+             "relcont_plan_cache_entries %llu\n",
+             ULL(s.plan_cache.hits), ULL(s.plan_cache.misses),
+             ULL(s.plan_cache.evictions), ULL(s.plan_cache.invalidated),
+             ULL(s.plan_cache.entries));
   out +=
       "# HELP relcont_request_latency_microseconds Request latency "
       "(cumulative power-of-two buckets).\n"

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "planner/plan_cache.h"
 #include "service/decision_cache.h"
 
 namespace relcont {
@@ -73,8 +74,17 @@ struct MetricsSnapshot {
   /// returns (pool quiescence).
   uint64_t parallel_tasks_spawned = 0;
   uint64_t parallel_tasks_completed = 0;
+  /// Planner verb totals (PLAN? / REWRITE?) and protocol lines rejected
+  /// for an unknown verb. Planner latencies fold into the shared latency
+  /// histogram below.
+  uint64_t plan_requests = 0;
+  uint64_t rewrite_requests = 0;
+  uint64_t plan_errors = 0;
+  uint64_t unknown_verbs = 0;
   std::vector<RegimeDecisions> decisions_by_regime;
   CacheStats cache;
+  /// Counters of the planner's plan cache (all zero without a planner).
+  PlanCacheStats plan_cache;
 
   std::vector<HistogramBucket> latency_buckets;
   uint64_t latency_sum_micros = 0;

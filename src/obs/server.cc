@@ -223,7 +223,8 @@ void ObsServer::ServeHttp(int fd, const std::string& head) {
   std::string path = request.path();
   if (path == "/metrics") {
     std::string body = RenderPrometheusText(
-        service_->metrics().Snapshot(service_->cache().Stats()));
+        service_->metrics().Snapshot(service_->cache().Stats(),
+                                     service_->planner().cache().Stats()));
     SendAll(fd, RenderHttpResponse(
                     200, "text/plain; version=0.0.4; charset=utf-8", body,
                     head_only));
@@ -243,7 +244,8 @@ void ObsServer::ServeHttp(int fd, const std::string& head) {
 
 std::string ObsServer::BuildzJson() const {
   MetricsSnapshot snapshot =
-      service_->metrics().Snapshot(service_->cache().Stats());
+      service_->metrics().Snapshot(service_->cache().Stats(),
+                                   service_->planner().cache().Stats());
   const ServiceConfig& config = service_->config();
   std::string out = "{\"version\":";
   json::AppendEscaped(snapshot.version, &out);

@@ -1,0 +1,91 @@
+#include "planner/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace relcont {
+
+PlanCache::PlanCache(size_t capacity, size_t num_shards) {
+  num_shards = std::max<size_t>(1, num_shards);
+  per_shard_capacity_ = std::max<size_t>(1, (capacity + num_shards - 1) /
+                                                num_shards);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key, const std::string& catalog,
+                       CachedPlan value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->catalog = catalog;
+    it->second->plan = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(Entry{key, catalog, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+}
+
+void PlanCache::InvalidateCatalog(const std::string& catalog) {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->catalog == catalog) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++shard->invalidated;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  PlanCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.invalidated += shard->invalidated;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void PlanCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace relcont

@@ -1,0 +1,112 @@
+#ifndef RELCONT_PLANNER_PLAN_CACHE_H_
+#define RELCONT_PLANNER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace relcont {
+
+/// A planner result in interner-independent form, so one cache can serve
+/// every worker arena: the plan travels as rendered text (re-parseable by
+/// ParseProgram) rather than as a Program full of thread-local SymbolIds.
+/// PLAN? entries fill the plan fields; REWRITE? entries fill the verdict
+/// fields. Both share the struct so the cache needs a single value type.
+struct CachedPlan {
+  /// PLAN?: the plan rules, one per line (ParseProgram syntax, Skolem
+  /// function terms included for recursive dom plans).
+  std::string plan_text;
+  /// Name of the unary dom accumulator ("" for nonrecursive UCQ plans).
+  std::string dom_predicate;
+  /// Rule count of the plan (0 for REWRITE? entries).
+  int num_rules = 0;
+  /// True when the plan recurses through the dom accumulator.
+  bool recursive = false;
+  /// REWRITE?: the plan-level containment verdict P1^exp ⊑ Q2.
+  bool contained = false;
+  /// Rendered counterexample ("" when none).
+  std::string witness_text;
+};
+
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped by catalog re-registration (not LRU pressure).
+  uint64_t invalidated = 0;
+  uint64_t entries = 0;
+};
+
+/// A sharded LRU cache of planner results, keyed by (catalog name +
+/// version, canonical query fingerprint, verb) — see
+/// CanonicalProgramFingerprint in containment/canonical.h for why the key
+/// is invariant under variable renaming and rule reordering.
+///
+/// Mirrors DecisionCache's design (per-shard mutex + recency list +
+/// counters) with one addition: every entry remembers the catalog it was
+/// planned against, so InvalidateCatalog can evict exactly that catalog's
+/// plans when a re-registration bumps its version. The version in the key
+/// already prevents stale *hits*; invalidation reclaims the dead entries
+/// instead of letting them age out under LRU pressure. Thread-safe.
+class PlanCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` shards (each shard holds at least one entry).
+  explicit PlanCache(size_t capacity, size_t num_shards = 8);
+
+  /// Returns the cached plan and refreshes its recency, or nullopt.
+  /// Counts a hit or a miss.
+  std::optional<CachedPlan> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key` attributed to `catalog`, evicting the
+  /// shard's least recently used entry when the shard is full.
+  void Insert(const std::string& key, const std::string& catalog,
+              CachedPlan value);
+
+  /// Drops every entry planned against `catalog` (every shard is swept —
+  /// invalidation is rare, lookups are not). Counts each dropped entry
+  /// under `invalidated`; other catalogs' entries and the hit/miss
+  /// counters are untouched.
+  void InvalidateCatalog(const std::string& catalog);
+
+  /// Aggregated counters across shards.
+  PlanCacheStats Stats() const;
+
+  /// Drops every entry; counters keep accumulating.
+  void Clear();
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string catalog;
+    CachedPlan plan;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidated = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace relcont
+
+#endif  // RELCONT_PLANNER_PLAN_CACHE_H_

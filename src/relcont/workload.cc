@@ -1,5 +1,7 @@
 #include "relcont/workload.h"
 
+#include <algorithm>
+#include <cmath>
 #include <random>
 #include <string>
 
@@ -143,6 +145,72 @@ Database RandomGraph(std::string_view edge_name, int num_nodes, int num_edges,
         Term::Symbol(interner->Intern("n" + std::to_string(node(rng))))};
     out.Add(edge, std::move(tuple));
   }
+  return out;
+}
+
+namespace {
+
+/// Draws a relation index in [0, num_relations) with weight (r+1)^-skew.
+/// Inverse-CDF over precomputed cumulative weights, so the draw sequence
+/// is a pure function of the rng stream.
+class SkewedRelationPicker {
+ public:
+  SkewedRelationPicker(int num_relations, double skew) {
+    double total = 0;
+    cumulative_.reserve(num_relations);
+    for (int r = 0; r < num_relations; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -skew);
+      cumulative_.push_back(total);
+    }
+  }
+
+  int Pick(std::mt19937_64* rng) const {
+    std::uniform_real_distribution<double> u(0.0, cumulative_.back());
+    double x = u(*rng);
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Renders "name(X0, XL) :- e_a(X0, X1), ..., e_b(X(L-1), XL)." with the
+/// relation of each hop drawn from `pick`.
+std::string RenderChainRule(const std::string& head_name, int length,
+                            const SkewedRelationPicker& pick,
+                            std::mt19937_64* rng) {
+  std::string out = head_name + "(X0, X" + std::to_string(length) + ") :- ";
+  for (int hop = 0; hop < length; ++hop) {
+    if (hop > 0) out += ", ";
+    out += "e" + std::to_string(pick.Pick(rng)) + "(X" +
+           std::to_string(hop) + ", X" + std::to_string(hop + 1) + ")";
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace
+
+PathViewWorkload MakePathViewWorkload(const PathViewOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  PathViewWorkload out;
+  SkewedRelationPicker pick(std::max(1, options.num_relations),
+                            options.skew);
+  int min_length = std::max(1, options.min_length);
+  int max_length = std::max(min_length, options.max_length);
+  std::uniform_int_distribution<int> length(min_length, max_length);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < options.num_views; ++i) {
+    std::string name = "v" + std::to_string(i);
+    out.views_text += RenderChainRule(name, length(rng), pick, &rng);
+    out.views_text += '\n';
+    if (coin(rng) < options.bound_probability) {
+      out.patterns.emplace_back(std::move(name), "bf");
+    }
+  }
+  out.query_text =
+      RenderChainRule("q", std::max(1, options.query_length), pick, &rng);
   return out;
 }
 

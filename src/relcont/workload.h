@@ -2,6 +2,9 @@
 #define RELCONT_RELCONT_WORKLOAD_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "eval/database.h"
 #include "rewriting/views.h"
@@ -56,6 +59,49 @@ Database RandomInstance(const ViewSet& views, int num_facts, int domain_size,
 /// A random graph database over one binary predicate.
 Database RandomGraph(std::string_view edge_name, int num_nodes, int num_edges,
                      uint64_t seed, Interner* interner);
+
+/// The path-view scenario of Romero–Preda–Suchanek ("Query Rewriting On
+/// Path Views Without Integrity Constraints", PAPERS.md): web services are
+/// chain-shaped views over binary mediated relations, and many require
+/// their first argument bound before they can be called — exactly the
+/// Section 4 binding-pattern fragment. The generator produces catalogs of
+/// thousands of such views with a skewed relation distribution (popular
+/// relations appear in many views, rare ones in few, as in real service
+/// catalogs).
+struct PathViewOptions {
+  /// Chain-shaped views v0..v{n-1}.
+  int num_views = 1000;
+  /// Binary mediated relations e0..e{k-1}.
+  int num_relations = 8;
+  /// Chain length per view, uniform in [min_length, max_length].
+  int min_length = 1;
+  int max_length = 4;
+  /// Probability that a view requires its first argument bound (gets a
+  /// "bf" adornment); the rest are freely accessible.
+  double bound_probability = 0.5;
+  /// Zipf-style skew of the relation choice: relation r is drawn with
+  /// weight (r+1)^-skew. 0 = uniform.
+  double skew = 1.0;
+  /// Length of the chain query posed over the mediated relations.
+  int query_length = 3;
+  uint64_t seed = 0;
+};
+
+/// One generated path-view scenario in registration-ready text form (no
+/// interner needed — the service stores catalogs as text; see
+/// service/catalog.h).
+struct PathViewWorkload {
+  /// View definitions, one rule per line (ParseViews syntax).
+  std::string views_text;
+  /// (view name, adornment) pairs for the input-bound views.
+  std::vector<std::pair<std::string, std::string>> patterns;
+  /// A chain query over the mediated relations (ParseProgram syntax).
+  std::string query_text;
+};
+
+/// Deterministic for a fixed options struct: the same seed always yields
+/// byte-identical text, so failures replay from the logged seed alone.
+PathViewWorkload MakePathViewWorkload(const PathViewOptions& options);
 
 }  // namespace relcont
 

@@ -43,15 +43,21 @@ Result<int64_t> CatalogRegistry::Register(
   // never holds a snapshot that workers cannot materialize.
   {
     Interner scratch;
-    RELCONT_ASSIGN_OR_RETURN(MaterializedCatalog ignored,
+    RELCONT_ASSIGN_OR_RETURN(MaterializedCatalog materialized,
                              MaterializeCatalog(*spec, &scratch));
-    (void)ignored;
+    spec->num_views = static_cast<int>(materialized.views.size());
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = catalogs_.find(name);
-  spec->version = it == catalogs_.end() ? 1 : it->second->version + 1;
-  int64_t version = spec->version;
-  catalogs_[name] = std::move(spec);
+  int64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = catalogs_.find(name);
+    spec->version = it == catalogs_.end() ? 1 : it->second->version + 1;
+    version = spec->version;
+    catalogs_[name] = std::move(spec);
+  }
+  // Outside mu_: the listener may take locks of its own (the plan cache's
+  // shard mutexes), and readers must not block on it.
+  if (listener_) listener_(name, version);
   return version;
 }
 

@@ -1,6 +1,7 @@
 #ifndef RELCONT_SERVICE_CATALOG_H_
 #define RELCONT_SERVICE_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,9 @@ struct CatalogSpec {
   int64_t version = 0;
   /// View definitions, one rule per view (ParseViews syntax).
   std::string views_text;
+  /// Number of views in views_text (counted during validation, so CATALOG?
+  /// introspection never needs to re-parse the text).
+  int num_views = 0;
   /// (source predicate name, adornment text) pairs, e.g. ("redcars", "bf").
   std::vector<std::pair<std::string, std::string>> patterns;
 };
@@ -52,12 +56,25 @@ Result<MaterializedCatalog> MaterializeCatalog(const CatalogSpec& spec,
 /// concurrent re-registration never mutates a spec a reader holds.
 class CatalogRegistry {
  public:
+  /// Invoked after every successful Register with the published name and
+  /// version (the plan cache invalidates that catalog's entries this way).
+  /// Must be safe to call from many registering threads concurrently.
+  using RegistrationListener =
+      std::function<void(const std::string& name, int64_t version)>;
+
   /// Validates and publishes `views_text` + `patterns` under `name`,
   /// replacing any previous snapshot. Returns the published version
   /// (1 for a new name, previous + 1 on replacement).
   Result<int64_t> Register(
       const std::string& name, std::string views_text,
       std::vector<std::pair<std::string, std::string>> patterns = {});
+
+  /// Installs the registration listener (empty function removes it). Not
+  /// synchronized against in-flight Register calls — install before the
+  /// registry is shared, as the owning service's constructor does.
+  void set_registration_listener(RegistrationListener listener) {
+    listener_ = std::move(listener);
+  }
 
   /// The current snapshot for `name`, or nullptr if never registered.
   std::shared_ptr<const CatalogSpec> Find(const std::string& name) const;
@@ -70,6 +87,9 @@ class CatalogRegistry {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const CatalogSpec>> catalogs_;
+  /// Immutable once the registry is shared (see set_registration_listener),
+  /// so Register may invoke it outside mu_.
+  RegistrationListener listener_;
 };
 
 }  // namespace relcont

@@ -98,7 +98,8 @@ void ServiceMetrics::set_slow_log_capacity(size_t capacity) {
   if (slow_log_.size() > capacity) slow_log_.resize(capacity);
 }
 
-obs::MetricsSnapshot ServiceMetrics::Snapshot(const CacheStats& cache) const {
+obs::MetricsSnapshot ServiceMetrics::Snapshot(
+    const CacheStats& cache, const PlanCacheStats& plan_cache) const {
   obs::MetricsSnapshot s;
   s.version = kVersionString;
   s.trace_compiled_in = trace::kCompiledIn;
@@ -113,6 +114,11 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(const CacheStats& cache) const {
   s.deadline_exceeded = deadline_exceeded();
   s.parallel_tasks_spawned = tasks_spawned();
   s.parallel_tasks_completed = tasks_completed();
+  s.plan_requests = plan_requests();
+  s.rewrite_requests = rewrite_requests();
+  s.plan_errors = plan_errors();
+  s.unknown_verbs = unknown_verbs();
+  s.plan_cache = plan_cache;
   for (int i = 0; i < kNumRegimes; ++i) {
     Regime regime = static_cast<Regime>(i);
     uint64_t count = RegimeCount(regime);
@@ -163,8 +169,9 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(const CacheStats& cache) const {
   return s;
 }
 
-std::string ServiceMetrics::Dump(const CacheStats& cache) const {
-  return obs::RenderMetricsText(Snapshot(cache));
+std::string ServiceMetrics::Dump(const CacheStats& cache,
+                                 const PlanCacheStats& plan_cache) const {
+  return obs::RenderMetricsText(Snapshot(cache, plan_cache));
 }
 
 }  // namespace relcont

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/exposition.h"
+#include "planner/plan_cache.h"
 #include "relcont/decide.h"
 #include "service/decision_cache.h"
 #include "trace/trace.h"
@@ -76,6 +77,23 @@ class ServiceMetrics {
   void RecordRequest(Regime regime, uint64_t latency_micros, bool error,
                      bool cache_hit);
 
+  /// Records one finished planner request (PLAN? when `rewrite` is false,
+  /// REWRITE? when true). Planner latencies fold into the shared latency
+  /// histogram; the per-verb totals stay separate from requests_ so the
+  /// containment counters keep their meaning.
+  void RecordPlanRequest(bool rewrite, uint64_t latency_micros, bool error) {
+    (rewrite ? rewrite_requests_ : plan_requests_)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (error) plan_errors_.fetch_add(1, std::memory_order_relaxed);
+    latency_.Record(latency_micros);
+  }
+
+  /// Records one rejected protocol line whose verb no handler claims
+  /// (satisfies the `relcont_unknown_verb_total` series).
+  void RecordUnknownVerb() {
+    unknown_verbs_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Records one request's budget outcome: how many parallel helper tasks
   /// its decision spawned/completed (equal after every request — the pool-
   /// quiescence invariant tests assert) and whether its deadline expired.
@@ -104,6 +122,18 @@ class ServiceMetrics {
   }
   uint64_t deadline_exceeded() const {
     return deadline_exceeded_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_requests() const {
+    return plan_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t rewrite_requests() const {
+    return rewrite_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t plan_errors() const {
+    return plan_errors_.load(std::memory_order_relaxed);
+  }
+  uint64_t unknown_verbs() const {
+    return unknown_verbs_.load(std::memory_order_relaxed);
   }
   uint64_t tasks_spawned() const {
     return tasks_spawned_.load(std::memory_order_relaxed);
@@ -134,16 +164,20 @@ class ServiceMetrics {
 
   /// Copies every counter plus build/uptime identity into one consistent
   /// snapshot — the single source both the METRICS verb and the Prometheus
-  /// `/metrics` endpoint render from (see obs/exposition.h).
-  obs::MetricsSnapshot Snapshot(const CacheStats& cache) const;
+  /// `/metrics` endpoint render from (see obs/exposition.h). `plan_cache`
+  /// carries the planner's cache counters (defaulted so callers without a
+  /// planner keep working).
+  obs::MetricsSnapshot Snapshot(const CacheStats& cache,
+                                const PlanCacheStats& plan_cache = {}) const;
 
   /// Renders a multi-line text dump: request totals, per-regime counts,
   /// the supplied cache counters, the latency histogram as cumulative
   /// Prometheus-style `le` buckets with `latency_us_sum`/`_count`, and —
   /// when traces were recorded — per-phase timers, per-regime trace
   /// counter totals, and the slow-request log. Equivalent to
-  /// obs::RenderMetricsText(Snapshot(cache)).
-  std::string Dump(const CacheStats& cache) const;
+  /// obs::RenderMetricsText(Snapshot(cache, plan_cache)).
+  std::string Dump(const CacheStats& cache,
+                   const PlanCacheStats& plan_cache = {}) const;
 
  private:
   struct PhaseStat {
@@ -163,6 +197,10 @@ class ServiceMetrics {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> plan_requests_{0};
+  std::atomic<uint64_t> rewrite_requests_{0};
+  std::atomic<uint64_t> plan_errors_{0};
+  std::atomic<uint64_t> unknown_verbs_{0};
   std::atomic<uint64_t> tasks_spawned_{0};
   std::atomic<uint64_t> tasks_completed_{0};
   std::array<std::atomic<uint64_t>, kNumRegimes> by_regime_{};

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/json.h"
 #include "datalog/parser.h"
 
 namespace relcont {
@@ -82,8 +83,16 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
   std::getline(in, rest);
   rest = Trim(rest);
   if (command == "CATALOG") return HandleCatalog(rest);
+  if (command == "CATALOG?") return HandleCatalogQuery(rest);
   if (command == "DEFINE") return HandleDefine(rest);
   if (command == "CONTAINED?") return HandleContained(rest);
+  if (command == "PLAN?") {
+    return HandlePlan(rest, /*collect_trace=*/false, /*trace_json=*/false);
+  }
+  if (command == "REWRITE?") {
+    return HandleRewrite(rest, /*collect_trace=*/false,
+                         /*trace_json=*/false);
+  }
   if (command == "EXPLAIN") return HandleExplain(rest);
   if (command == "BATCH") return HandleBatch(rest);
   if (command == "CATALOGS") {
@@ -96,16 +105,20 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
     return out.empty() ? "OK no catalogs\n" : out;
   }
   if (command == "METRICS") {
-    return service_->metrics().Dump(service_->cache().Stats());
+    return service_->metrics().Dump(service_->cache().Stats(),
+                                    service_->planner().cache().Stats());
   }
   if (command == "HELP") {
     return "CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> "
            "<adornment>]...\n"
+           "CATALOG? [<name>]\n"
            "DEFINE <name> <rule> [<rule>]...\n"
            "CONTAINED? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
            "[workers=N]\n"
-           "EXPLAIN [JSON] <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
+           "PLAN? <q> @<catalog> [timeout_ms=N] [budget=N] [workers=N]\n"
+           "REWRITE? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
            "[workers=N]\n"
+           "EXPLAIN [JSON] [PLAN?|REWRITE?] <args as above>\n"
            "BATCH BEGIN ... BATCH END\n"
            "CATALOGS | METRICS | HELP\n"
            "  timeout_ms: per-request deadline; budget: max decision "
@@ -113,8 +126,10 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
            "  A request past its bound answers ERR BoundReached (not a "
            "verdict).\n";
   }
-  return "ERR InvalidArgument: unknown command '" + command +
-         "' — try HELP\n";
+  // A distinct error shape (and counter) so clients can tell a typo'd verb
+  // from a malformed request to a known verb.
+  service_->metrics().RecordUnknownVerb();
+  return "ERR unknown-verb '" + command + "' — try HELP\n";
 }
 
 std::string ServerSession::HandleCatalog(const std::string& rest) {
@@ -213,6 +228,156 @@ std::string ServerSession::HandleContained(const std::string& rest) {
   return RenderResponse(response);
 }
 
+const std::string* ServerSession::LookupQuery(const std::string& name,
+                                              std::string* error) const {
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    *error = "ERR InvalidArgument: unknown query '" + name +
+             "' — DEFINE it first\n";
+    return nullptr;
+  }
+  return &it->second;
+}
+
+void ServerSession::AppendTrace(const trace::TraceContext* trace, bool json,
+                                std::string* out) {
+  if (trace == nullptr) return;
+  if (trace->spans().empty() && !trace::kCompiledIn) {
+    *out += "(trace hooks compiled out: rebuild with -DRELCONT_TRACE=ON)\n";
+    return;
+  }
+  if (json) {
+    *out += trace->ToChromeJson();
+    *out += '\n';
+  } else {
+    *out += trace->ToText();
+  }
+}
+
+std::string ServerSession::HandlePlan(const std::string& rest,
+                                      bool collect_trace, bool trace_json) {
+  if (in_batch_) {
+    return "ERR InvalidArgument: PLAN? is not allowed inside a batch\n";
+  }
+  std::vector<std::string> tokens = Tokenize(rest);
+  PlanRequest request;
+  std::string option_error = ConsumeBudgetOptions(&tokens, &request.options);
+  if (!option_error.empty()) return option_error;
+  if (tokens.size() != 2 || tokens[1].size() < 2 || tokens[1][0] != '@') {
+    return "ERR InvalidArgument: expected PLAN? <q> @<catalog> "
+           "[timeout_ms=N] [budget=N] [workers=N]\n";
+  }
+  std::string error;
+  const std::string* query = LookupQuery(tokens[0], &error);
+  if (query == nullptr) return error;
+  request.query_text = *query;
+  request.catalog = tokens[1].substr(1);
+  // EXPLAIN semantics: bypass the cache so there is a construction to
+  // trace.
+  request.collect_trace = collect_trace;
+  request.bypass_cache = collect_trace;
+  PlanResponse response = service_->planner().Plan(request, &planner_ctx_);
+  if (!response.status.ok()) {
+    return "ERR " + response.status.ToString() + "\n";
+  }
+  std::string out = "OK plan catalog=" + request.catalog + " v" +
+                    std::to_string(response.catalog_version) +
+                    " kind=" + (response.recursive ? "recursive" : "ucq") +
+                    " rules=" + std::to_string(response.num_rules);
+  if (!response.dom_predicate.empty()) {
+    out += " dom=" + response.dom_predicate;
+  }
+  out += response.cache_hit ? " HIT " : " MISS ";
+  out += std::to_string(response.latency_micros);
+  out += "us\n";
+  out += response.plan_text;
+  if (collect_trace) AppendTrace(response.trace.get(), trace_json, &out);
+  return out;
+}
+
+std::string ServerSession::HandleRewrite(const std::string& rest,
+                                         bool collect_trace,
+                                         bool trace_json) {
+  if (in_batch_) {
+    return "ERR InvalidArgument: REWRITE? is not allowed inside a batch\n";
+  }
+  std::vector<std::string> tokens = Tokenize(rest);
+  RewriteRequest request;
+  std::string option_error = ConsumeBudgetOptions(&tokens, &request.options);
+  if (!option_error.empty()) return option_error;
+  if (tokens.size() != 3 || tokens[2].size() < 2 || tokens[2][0] != '@') {
+    return "ERR InvalidArgument: expected REWRITE? <q1> <q2> @<catalog> "
+           "[timeout_ms=N] [budget=N] [workers=N]\n";
+  }
+  std::string error;
+  for (int side = 0; side < 2; ++side) {
+    const std::string* query = LookupQuery(tokens[side], &error);
+    if (query == nullptr) return error;
+    (side == 0 ? request.q1_text : request.q2_text) = *query;
+  }
+  request.catalog = tokens[2].substr(1);
+  request.collect_trace = collect_trace;
+  request.bypass_cache = collect_trace;
+  RewriteResponse response =
+      service_->planner().Rewrite(request, &planner_ctx_);
+  if (!response.status.ok()) {
+    return "ERR " + response.status.ToString() + "\n";
+  }
+  std::string out = response.contained ? "YES plan" : "NO plan";
+  out += response.cache_hit ? " HIT " : " MISS ";
+  out += std::to_string(response.latency_micros);
+  out += "us";
+  if (!response.witness_text.empty()) {
+    out += " witness: ";
+    out += response.witness_text;
+  }
+  out += '\n';
+  if (collect_trace) AppendTrace(response.trace.get(), trace_json, &out);
+  return out;
+}
+
+std::string ServerSession::HandleCatalogQuery(const std::string& rest) {
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.size() > 1) {
+    return "ERR InvalidArgument: expected CATALOG? [<name>]\n";
+  }
+  std::vector<std::string> names;
+  if (tokens.empty()) {
+    names = service_->catalogs().Names();
+  } else {
+    names.push_back(tokens[0]);
+  }
+  std::string out = "{\"catalogs\":[";
+  bool first = true;
+  for (const std::string& name : names) {
+    auto spec = service_->catalogs().Find(name);
+    if (spec == nullptr) {
+      if (!tokens.empty()) {
+        return "ERR InvalidArgument: unknown catalog '" + name + "'\n";
+      }
+      continue;  // raced with a concurrent removal of a listed name
+    }
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    json::AppendEscaped(spec->name, &out);
+    out += ",\"version\":" + std::to_string(spec->version);
+    out += ",\"views\":" + std::to_string(spec->num_views);
+    out += ",\"patterns\":[";
+    for (size_t i = 0; i < spec->patterns.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"source\":";
+      json::AppendEscaped(spec->patterns[i].first, &out);
+      out += ",\"adornment\":";
+      json::AppendEscaped(spec->patterns[i].second, &out);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
 std::string ServerSession::HandleExplain(const std::string& rest) {
   if (in_batch_) {
     return "ERR InvalidArgument: EXPLAIN is not allowed inside a batch\n";
@@ -220,6 +385,14 @@ std::string ServerSession::HandleExplain(const std::string& rest) {
   std::vector<std::string> tokens = Tokenize(rest);
   bool json = !tokens.empty() && tokens[0] == "JSON";
   if (json) tokens.erase(tokens.begin());
+  if (!tokens.empty() && tokens[0] == "PLAN?") {
+    return HandlePlan(JoinFrom(tokens, 1, tokens.size()),
+                      /*collect_trace=*/true, json);
+  }
+  if (!tokens.empty() && tokens[0] == "REWRITE?") {
+    return HandleRewrite(JoinFrom(tokens, 1, tokens.size()),
+                         /*collect_trace=*/true, json);
+  }
   DecisionRequest request;
   std::string option_error = ConsumeBudgetOptions(&tokens, &request.options);
   if (!option_error.empty()) return option_error;

@@ -23,8 +23,11 @@ using DecisionObserver =
 ///   CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> <adr>]...
 ///   DEFINE <name> <rule> [<rule>]...
 ///   CONTAINED? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] [workers=N]
-///   EXPLAIN [JSON] <q1> <q2> @<catalog> [...]  (traced, cache-bypassing)
+///   PLAN? <q> @<catalog> [...]      (maximally-contained plan of <q>)
+///   REWRITE? <q1> <q2> @<catalog> [...]  (plan-level P1^exp ⊑ Q2)
+///   EXPLAIN [JSON] [PLAN?|REWRITE?] <args>  (traced, cache-bypassing)
 ///   BATCH BEGIN ... BATCH END       (CONTAINED? lines fan out in parallel)
+///   CATALOG? [<name>]               (catalog introspection, one JSON line)
 ///   CATALOGS | METRICS | HELP
 ///
 /// Responses are single lines ("OK ...", "YES ...", "NO ...", "ERR ...")
@@ -60,12 +63,26 @@ class ServerSession {
   std::string HandleCatalog(const std::string& rest);
   std::string HandleDefine(const std::string& rest);
   std::string HandleContained(const std::string& rest);
+  std::string HandlePlan(const std::string& rest, bool collect_trace,
+                         bool trace_json);
+  std::string HandleRewrite(const std::string& rest, bool collect_trace,
+                            bool trace_json);
+  std::string HandleCatalogQuery(const std::string& rest);
   std::string HandleExplain(const std::string& rest);
   std::string HandleBatch(const std::string& rest);
   std::string RenderResponse(const DecisionResponse& response) const;
+  /// Looks up a DEFINE'd query name; returns "" and fills *error on miss.
+  const std::string* LookupQuery(const std::string& name,
+                                 std::string* error) const;
+  /// Appends the rendered span tree (or a compiled-out notice) to *out.
+  static void AppendTrace(const trace::TraceContext* trace, bool json,
+                          std::string* out);
 
   ContainmentService* service_;
   WorkerContext ctx_;
+  /// The planner's arena, retired independently of ctx_ (plan construction
+  /// mints far more symbols per request than a containment decision).
+  PlannerContext planner_ctx_;
   int batch_threads_;
   DecisionObserver observer_;
   /// Named query texts declared with DEFINE.

@@ -89,10 +89,34 @@ void WorkerContext::Reset() {
   interner_ = std::make_unique<Interner>();
 }
 
+namespace {
+
+PlannerConfig PlannerConfigFrom(const ServiceConfig& config) {
+  PlannerConfig out;
+  out.cache_capacity = config.plan_cache_capacity;
+  out.cache_shards = config.plan_cache_shards;
+  out.max_worker_symbols = config.max_worker_symbols;
+  out.trace_requests = config.trace_requests;
+  out.default_timeout_ms = config.default_timeout_ms;
+  out.default_parallel_workers = config.default_parallel_workers;
+  return out;
+}
+
+}  // namespace
+
 ContainmentService::ContainmentService(ServiceConfig config)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_shards) {
+      cache_(config.cache_capacity, config.cache_shards),
+      planner_(&catalogs_, &metrics_, PlannerConfigFrom(config)) {
   metrics_.set_slow_log_capacity(config.slow_log_capacity);
+  // Re-registering a catalog bumps its version, which already rotates plan
+  // cache keys; the listener additionally reclaims the dead entries so a
+  // churning catalog cannot crowd out live plans.
+  catalogs_.set_registration_listener(
+      [this](const std::string& name, int64_t version) {
+        (void)version;
+        planner_.cache().InvalidateCatalog(name);
+      });
 }
 
 Result<const MaterializedCatalog*> ContainmentService::CatalogFor(

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "planner/planner.h"
 #include "relcont/decide.h"
 #include "service/catalog.h"
 #include "service/decision_cache.h"
@@ -49,6 +50,11 @@ struct ServiceConfig {
   /// Worker-thread count for the parallel per-disjunct scan, applied to
   /// requests that do not set their own parallel_workers. 1 = serial.
   int default_parallel_workers = 1;
+  /// Total plan-cache capacity in entries (the planner's cache is separate
+  /// from the decision cache: plans are large values with a different
+  /// working set).
+  size_t plan_cache_capacity = 4096;
+  size_t plan_cache_shards = 8;
 };
 
 /// One containment question. The query texts use the ParseProgram syntax
@@ -116,6 +122,7 @@ class ContainmentService {
   CatalogRegistry& catalogs() { return catalogs_; }
   DecisionCache& cache() { return cache_; }
   ServiceMetrics& metrics() { return metrics_; }
+  Planner& planner() { return planner_; }
   const ServiceConfig& config() const { return config_; }
 
   /// Answers one request using the caller-owned worker context. Safe to
@@ -142,6 +149,8 @@ class ContainmentService {
   CatalogRegistry catalogs_;
   DecisionCache cache_;
   ServiceMetrics metrics_;
+  /// Declared after catalogs_ and metrics_ (it points at both).
+  Planner planner_;
 };
 
 }  // namespace relcont

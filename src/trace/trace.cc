@@ -72,6 +72,10 @@ std::string_view CounterName(Counter c) {
       return "dom_cores_checked";
     case Counter::kDomSaturationRounds:
       return "dom_saturation_rounds";
+    case Counter::kPlannerPlansBuilt:
+      return "planner_plans_built";
+    case Counter::kPlannerPlanRules:
+      return "planner_plan_rules";
     case Counter::kBoundHits:
       return "bound_hits";
     case Counter::kParallelTasksSpawned:

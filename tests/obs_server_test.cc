@@ -288,6 +288,15 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
       {"\nlatency_us_sum ", "\nrelcont_request_latency_microseconds_sum "},
       {"decisions_by_regime{section3} ",
        "relcont_decisions_total{regime=\"section3\"} "},
+      {"\nplan_requests_total ", "\nrelcont_plan_requests_total "},
+      {"\nrewrite_requests_total ", "\nrelcont_rewrite_requests_total "},
+      {"\nplan_errors_total ", "\nrelcont_plan_errors_total "},
+      {"\nunknown_verbs_total ", "\nrelcont_unknown_verb_total "},
+      {"\nplan_cache_hits ", "\nrelcont_plan_cache_hits_total "},
+      {"\nplan_cache_misses ", "\nrelcont_plan_cache_misses_total "},
+      {"\nplan_cache_invalidated ",
+       "\nrelcont_plan_cache_invalidated_total "},
+      {"\nplan_cache_entries ", "\nrelcont_plan_cache_entries "},
   };
   for (const auto& [text_key, prom_key] : kPairs) {
     EXPECT_EQ(extract(text, text_key), extract(reply.body, prom_key))
@@ -299,6 +308,143 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
   EXPECT_NE(extract(reply.body, "\nrelcont_cache_hits_total "), "0");
   EXPECT_NE(reply.body.find("relcont_build_info{version=\""),
             std::string::npos);
+}
+
+/// Acceptance criterion for the plan service: PLAN? and REWRITE? round-trip
+/// over a live TCP socket, a warm PLAN? is a cache HIT, and the planner's
+/// counters show up in both METRICS and /metrics.
+TEST_F(ObsServerTest, PlanAndRewriteRoundTripOverTcp) {
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("DEFINE pq pq(C) :- cardesc(C, M, red, Y).\n");
+  EXPECT_NE(client.ReadLine().find("OK"), std::string::npos);
+  client.Send("PLAN? pq @cars\n");
+  std::string header = client.ReadLine();
+  ASSERT_EQ(header.rfind("OK plan catalog=cars v1 kind=ucq rules=", 0), 0u)
+      << header;
+  EXPECT_NE(header.find(" MISS "), std::string::npos);
+  // The plan body: rules=N executable rules, one per line, over the
+  // sources.
+  size_t rules_pos = header.find("rules=") + 6;
+  int num_rules = std::atoi(header.c_str() + rules_pos);
+  ASSERT_GT(num_rules, 0) << header;
+  std::vector<std::string> plan_lines;
+  for (int i = 0; i < num_rules; ++i) {
+    plan_lines.push_back(client.ReadLine());
+    EXPECT_EQ(plan_lines.back().rfind("pq(", 0), 0u) << plan_lines.back();
+    EXPECT_TRUE(plan_lines.back().find("redcars(") != std::string::npos ||
+                plan_lines.back().find("allcars(") != std::string::npos)
+        << plan_lines.back();
+  }
+
+  client.Send("PLAN? pq @cars\n");
+  std::string warm = client.ReadLine();
+  EXPECT_NE(warm.find(" HIT "), std::string::npos) << warm;
+  for (int i = 0; i < num_rules; ++i) {
+    EXPECT_EQ(client.ReadLine(), plan_lines[static_cast<size_t>(i)]);
+  }
+
+  client.Send("DEFINE pq2 pq2(C) :- cardesc(C, M, Col, Y).\n");
+  EXPECT_NE(client.ReadLine().find("OK"), std::string::npos);
+  client.Send("REWRITE? pq pq2 @cars\n");
+  std::string rewrite = client.ReadLine();
+  EXPECT_EQ(rewrite.rfind("YES plan MISS ", 0), 0u) << rewrite;
+
+  // The planner traffic is visible in both renderings of the snapshot.
+  Client verb(port());
+  ASSERT_TRUE(verb.connected());
+  verb.Send("METRICS\n");
+  verb.FinishSending();
+  std::string text = verb.ReadAll();
+  EXPECT_NE(text.find("plan_requests_total 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("rewrite_requests_total 1"), std::string::npos);
+  EXPECT_NE(text.find("plan_cache_hits 1"), std::string::npos);
+  HttpReply metrics = Get(port(), "/metrics");
+  EXPECT_NE(metrics.body.find("relcont_plan_requests_total 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("relcont_rewrite_requests_total 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("relcont_plan_cache_hits_total 1"),
+            std::string::npos);
+}
+
+/// Satellite: CATALOG? introspection over a live socket answers one line of
+/// JSON that parses and reflects names, versions, view counts, and
+/// adornments.
+TEST_F(ObsServerTest, CatalogIntrospectionOverTcp) {
+  ASSERT_TRUE(service_.catalogs()
+                  .Register("paths", "v0(X, Y) :- e(X, Y).\n",
+                            {{"v0", "bf"}})
+                  .ok());
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("CATALOG?\n");
+  std::string line = client.ReadLine();
+  Result<json::Value> parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  const json::Value* catalogs = parsed->Find("catalogs");
+  ASSERT_NE(catalogs, nullptr);
+  ASSERT_EQ(catalogs->array.size(), 2u);  // sorted: cars, paths
+  EXPECT_EQ(catalogs->array[0].Find("name")->string_value, "cars");
+  EXPECT_EQ(catalogs->array[0].Find("views")->number_value, 2);
+  EXPECT_TRUE(catalogs->array[0].Find("patterns")->array.empty());
+  const json::Value& paths = catalogs->array[1];
+  EXPECT_EQ(paths.Find("name")->string_value, "paths");
+  EXPECT_EQ(paths.Find("version")->number_value, 1);
+  ASSERT_EQ(paths.Find("patterns")->array.size(), 1u);
+  EXPECT_EQ(paths.Find("patterns")->array[0].Find("adornment")->string_value,
+            "bf");
+
+  client.Send("CATALOG? paths\n");
+  std::string single = client.ReadLine();
+  Result<json::Value> one = json::Parse(single);
+  ASSERT_TRUE(one.ok()) << single;
+  EXPECT_EQ(one->Find("catalogs")->array.size(), 1u);
+}
+
+/// Satellite: a typo'd verb over the wire gets the distinct unknown-verb
+/// error line, and the counter lands in the Prometheus exposition under
+/// the exact name relcont_unknown_verb_total.
+TEST_F(ObsServerTest, UnknownVerbOverTcpIsCountedAndDistinct) {
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("PLANE? q @cars\n");
+  EXPECT_EQ(client.ReadLine(), "ERR unknown-verb 'PLANE?' — try HELP");
+  HttpReply metrics = Get(port(), "/metrics");
+  EXPECT_NE(metrics.body.find("relcont_unknown_verb_total 1"),
+            std::string::npos);
+}
+
+/// Acceptance criterion: a PLAN? past its deadline answers a bound error —
+/// never a wrong (truncated) plan. Uses the same hard QBF catalog as the
+/// CONTAINED? deadline test below.
+TEST_F(ObsServerTest, PlanPastDeadlineAnswersBoundReached) {
+  Interner gen;
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/8,
+                           /*num_clauses=*/16, /*seed=*/11);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &gen);
+  ASSERT_TRUE(inst.ok()) << inst.status().ToString();
+  std::string views_text;
+  for (const ViewDefinition& v : inst->views.views()) {
+    views_text += v.rule.ToString(gen);
+    views_text += '\n';
+  }
+  ASSERT_TRUE(service_.catalogs().Register("qbf", views_text).ok());
+  std::string query_text;
+  for (const Rule& r : inst->q1.program.rules) {
+    if (!query_text.empty()) query_text += ' ';
+    query_text += r.ToString(gen);
+  }
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("DEFINE hq " + query_text + "\n");
+  EXPECT_NE(client.ReadLine().find("OK"), std::string::npos);
+  client.Send("PLAN? hq @qbf timeout_ms=1\n");
+  std::string reply = client.ReadLine();
+  EXPECT_EQ(reply.substr(0, 3), "ERR") << reply;
+  EXPECT_NE(reply.find("bound reached"), std::string::npos) << reply;
+  // Nothing partial was cached: a retry with headroom must rebuild.
+  EXPECT_EQ(service_.planner().cache().Stats().entries, 0u);
 }
 
 /// Acceptance criterion for deadline-aware serving: a request that carries
