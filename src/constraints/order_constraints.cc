@@ -1,12 +1,16 @@
 #include "constraints/order_constraints.h"
 
 #include <algorithm>
-#include <functional>
+#include <string>
 
 #include "common/budget.h"
 #include "trace/trace.h"
 
 namespace relcont {
+
+using constraints::DenseOrderMatrix;
+using constraints::GlobalDenseOrderStats;
+using constraints::RelSet;
 
 namespace {
 
@@ -35,7 +39,7 @@ Result<int> OrderConstraints::InternPoint(const Term& t) {
   int id = static_cast<int>(points_.size());
   points_.push_back(t);
   index_.emplace(t, id);
-  closed_ = false;
+  matrix_.reset();
   // Relate the new constant to every existing constant by value.
   if (IsNumericConstant(t)) {
     for (int j = 0; j < id; ++j) {
@@ -43,9 +47,9 @@ Result<int> OrderConstraints::InternPoint(const Term& t) {
       const Rational& a = t.value().number();
       const Rational& b = points_[j].value().number();
       if (a < b) {
-        AddEdge(id, j, Rel::kLt);
+        AddRaw(id, j, constraints::kRelLt);
       } else if (b < a) {
-        AddEdge(j, id, Rel::kLt);
+        AddRaw(j, id, constraints::kRelLt);
       }
       // Equal values map to the identical Term, so a == b cannot happen.
     }
@@ -57,14 +61,9 @@ Status OrderConstraints::AddPoint(const Term& t) {
   return InternPoint(t).status();
 }
 
-void OrderConstraints::AddEdge(int from, int to, Rel rel) {
-  edges_.emplace_back(from, to, rel);
-  closed_ = false;
-}
-
-void OrderConstraints::AddDistinct(int a, int b) {
-  distinct_.emplace_back(a, b);
-  closed_ = false;
+void OrderConstraints::AddRaw(int i, int j, RelSet allowed) {
+  raw_.emplace_back(i, j, allowed);
+  matrix_.reset();
 }
 
 Status OrderConstraints::Add(const Comparison& c) {
@@ -72,23 +71,22 @@ Status OrderConstraints::Add(const Comparison& c) {
   RELCONT_ASSIGN_OR_RETURN(int r, InternPoint(c.rhs));
   switch (c.op) {
     case ComparisonOp::kLt:
-      AddEdge(l, r, Rel::kLt);
+      AddRaw(l, r, constraints::kRelLt);
       break;
     case ComparisonOp::kLe:
-      AddEdge(l, r, Rel::kLe);
+      AddRaw(l, r, constraints::kRelLe);
       break;
     case ComparisonOp::kGt:
-      AddEdge(r, l, Rel::kLt);
+      AddRaw(l, r, constraints::kRelGt);
       break;
     case ComparisonOp::kGe:
-      AddEdge(r, l, Rel::kLe);
+      AddRaw(l, r, constraints::kRelGe);
       break;
     case ComparisonOp::kEq:
-      AddEdge(l, r, Rel::kLe);
-      AddEdge(r, l, Rel::kLe);
+      AddRaw(l, r, constraints::kRelEq);
       break;
     case ComparisonOp::kNe:
-      AddDistinct(l, r);
+      AddRaw(l, r, constraints::kRelNe);
       break;
   }
   return Status::OK();
@@ -101,104 +99,20 @@ Status OrderConstraints::AddAll(const std::vector<Comparison>& cs) {
   return Status::OK();
 }
 
-void OrderConstraints::Close() const {
-  if (closed_) return;
-  RELCONT_TRACE_COUNT(kClosureRecomputes, 1);
-  int n = static_cast<int>(points_.size());
-  closure_.assign(static_cast<size_t>(n) * n, Rel::kNone);
-  distinct_mat_.assign(static_cast<size_t>(n) * n, 0);
-  auto rel = [&](int i, int j) -> Rel& {
-    return closure_[static_cast<size_t>(i) * n + j];
-  };
-  auto dis = [&](int i, int j) -> char& {
-    return distinct_mat_[static_cast<size_t>(i) * n + j];
-  };
-  for (int i = 0; i < n; ++i) rel(i, i) = Rel::kLe;
-  for (const auto& [from, to, r] : edges_) {
-    rel(from, to) = Stronger(rel(from, to), r);
-  }
-  for (const auto& [a, b] : distinct_) {
-    dis(a, b) = 1;
-    dis(b, a) = 1;
-  }
-  // Fixpoint of: transitive closure, strengthening (x<=y & x!=y => x<y),
-  // strictness-induced distinctness, and distinctness through equality.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int k = 0; k < n; ++k) {
-      for (int i = 0; i < n; ++i) {
-        if (rel(i, k) == Rel::kNone) continue;
-        for (int j = 0; j < n; ++j) {
-          Rel composed = Compose(rel(i, k), rel(k, j));
-          if (composed > rel(i, j)) {
-            rel(i, j) = composed;
-            changed = true;
-          }
-        }
-      }
+const DenseOrderMatrix& OrderConstraints::Closed() const {
+  if (!matrix_.has_value()) {
+    RELCONT_TRACE_COUNT(kClosureRecomputes, 1);
+    DenseOrderMatrix m(static_cast<int>(points_.size()));
+    for (const auto& [i, j, allowed] : raw_) {
+      if (!m.Restrict(i, j, allowed)) break;
     }
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) {
-        if (i == j) continue;
-        if (rel(i, j) == Rel::kLt && !dis(i, j)) {
-          dis(i, j) = dis(j, i) = 1;
-          changed = true;
-        }
-        if (rel(i, j) == Rel::kLe && dis(i, j)) {
-          rel(i, j) = Rel::kLt;
-          changed = true;
-        }
-      }
-    }
-    // Distinctness propagates across equal points: i == i' and i != j
-    // implies i' != j.
-    for (int i = 0; i < n; ++i) {
-      for (int i2 = 0; i2 < n; ++i2) {
-        if (i == i2 || rel(i, i2) == Rel::kNone || rel(i2, i) == Rel::kNone) {
-          continue;  // not provably equal
-        }
-        if (rel(i, i2) == Rel::kLt || rel(i2, i) == Rel::kLt) continue;
-        for (int j = 0; j < n; ++j) {
-          if (dis(i, j) && !dis(i2, j)) {
-            dis(i2, j) = dis(j, i2) = 1;
-            changed = true;
-          }
-        }
-      }
-    }
+    m.Close();
+    matrix_.emplace(std::move(m));
   }
-  closed_ = true;
+  return *matrix_;
 }
 
-OrderConstraints::Rel OrderConstraints::ClosedRel(int i, int j) const {
-  Close();
-  return closure_[static_cast<size_t>(i) * points_.size() + j];
-}
-
-bool OrderConstraints::ClosedDistinct(int i, int j) const {
-  Close();
-  return distinct_mat_[static_cast<size_t>(i) * points_.size() + j] != 0;
-}
-
-bool OrderConstraints::IsSatisfiable() const {
-  Close();
-  int n = static_cast<int>(points_.size());
-  for (int i = 0; i < n; ++i) {
-    if (ClosedRel(i, i) == Rel::kLt) return false;
-    for (int j = 0; j < n; ++j) {
-      if (i == j) continue;
-      // Provably equal yet required distinct.
-      if (ClosedRel(i, j) == Rel::kLe && ClosedRel(j, i) == Rel::kLe &&
-          ClosedDistinct(i, j)) {
-        return false;
-      }
-      // A strict edge inside an equivalence would have strengthened into a
-      // strict self-loop via transitivity, caught above.
-    }
-  }
-  return true;
-}
+bool OrderConstraints::IsSatisfiable() const { return Closed().consistent(); }
 
 bool OrderConstraints::Entails(const Comparison& c) const {
   // Trivial and cross-domain cases that do not involve the dense order.
@@ -220,29 +134,34 @@ bool OrderConstraints::Entails(const Comparison& c) const {
 
   if (!IsSatisfiable()) return true;  // ex falso quodlibet
 
-  // Work on a scratch copy so unseen terms become fresh points.
+  // Work on a scratch copy so unseen terms become fresh points (related
+  // to existing constants by value when they are constants themselves).
   OrderConstraints scratch = *this;
   Result<int> lr = scratch.InternPoint(c.lhs);
   Result<int> rr = scratch.InternPoint(c.rhs);
   if (!lr.ok() || !rr.ok()) return false;
-  int l = *lr;
-  int r = *rr;
+  RelSet claim = constraints::kRelNone;
   switch (c.op) {
     case ComparisonOp::kLt:
-      return scratch.ClosedRel(l, r) == Rel::kLt;
+      claim = constraints::kRelLt;
+      break;
     case ComparisonOp::kLe:
-      return scratch.ClosedRel(l, r) != Rel::kNone;
+      claim = constraints::kRelLe;
+      break;
     case ComparisonOp::kGt:
-      return scratch.ClosedRel(r, l) == Rel::kLt;
+      claim = constraints::kRelGt;
+      break;
     case ComparisonOp::kGe:
-      return scratch.ClosedRel(r, l) != Rel::kNone;
+      claim = constraints::kRelGe;
+      break;
     case ComparisonOp::kEq:
-      return scratch.ClosedRel(l, r) == Rel::kLe &&
-             scratch.ClosedRel(r, l) == Rel::kLe;
+      claim = constraints::kRelEq;
+      break;
     case ComparisonOp::kNe:
-      return scratch.ClosedDistinct(l, r);
+      claim = constraints::kRelNe;
+      break;
   }
-  return false;
+  return scratch.Closed().Entails(*lr, *rr, claim);
 }
 
 bool OrderConstraints::EntailsAll(const std::vector<Comparison>& cs) const {
@@ -252,80 +171,185 @@ bool OrderConstraints::EntailsAll(const std::vector<Comparison>& cs) const {
   return true;
 }
 
-bool OrderConstraints::LinearizationSatisfies(const Linearization& lin) const {
+Status OrderConstraints::ForEachLinearization(
+    const std::function<bool(const Linearization&)>& visit) const {
   int n = static_cast<int>(points_.size());
-  std::vector<int> cls(n, -1);
-  for (size_t k = 0; k < lin.size(); ++k) {
-    for (int p : lin[k]) cls[p] = static_cast<int>(k);
+  if (n == 0) {
+    visit(Linearization{});
+    return Status::OK();
   }
-  for (const auto& [from, to, r] : edges_) {
-    if (r == Rel::kLt && !(cls[from] < cls[to])) return false;
-    if (r == Rel::kLe && !(cls[from] <= cls[to])) return false;
+  const DenseOrderMatrix& m = Closed();
+  if (!m.consistent()) return Status::OK();  // nothing to stream
+
+  WorkBudget* budget = CurrentBudget();
+  uint64_t nodes = 0;
+  uint64_t pruned = 0;
+  bool bound = false;
+  bool stopped = false;
+  Linearization current;
+  std::vector<int> remaining(n);
+  for (int i = 0; i < n; ++i) remaining[i] = i;
+
+  // DFS over ordered partitions, minimal class first. At each level only
+  // the points the closed matrix allows to be minimal are candidates, and
+  // only candidate subsets that are pairwise mergeable AND strictly below
+  // everything left over are explored — heavily constrained sets visit
+  // little beyond their realizable linearizations.
+  std::function<void(std::vector<int>&)> recurse = [&](std::vector<int>&
+                                                           rem) {
+    if (rem.empty()) {
+      if (!visit(current)) stopped = true;
+      return;
+    }
+    std::vector<int> cand;
+    for (int p : rem) {
+      bool can_be_minimal = true;
+      for (int r : rem) {
+        if (r != p && (m.rel(p, r) & constraints::kRelLe) == 0) {
+          can_be_minimal = false;
+          break;
+        }
+      }
+      if (can_be_minimal) cand.push_back(p);
+    }
+    int k = static_cast<int>(cand.size());
+    if (k == 0) return;  // dead branch: nothing can come next
+    if (k > 63) {  // subset masks no longer fit a word
+      bound = true;
+      return;
+    }
+    std::vector<int> cls;
+    std::vector<int> rest;
+    for (uint64_t mask = 1; mask < (uint64_t{1} << k); ++mask) {
+      // One DFS node per candidate class. The exponential part of the
+      // search lives here, so this is the budget site; with no budget
+      // installed the structural node cap keeps unconstrained point sets
+      // from diverging.
+      if (budget != nullptr) {
+        if (!budget->Charge(1)) {
+          bound = true;
+          return;
+        }
+      } else if (++nodes > kDefaultMaxEnumerationNodes) {
+        bound = true;
+        return;
+      }
+      cls.clear();
+      for (int i = 0; i < k; ++i) {
+        if ((mask & (uint64_t{1} << i)) != 0) cls.push_back(cand[i]);
+      }
+      bool ok = true;
+      for (size_t a = 0; a < cls.size() && ok; ++a) {
+        for (size_t b = a + 1; b < cls.size() && ok; ++b) {
+          if ((m.rel(cls[a], cls[b]) & constraints::kRelEq) == 0) ok = false;
+        }
+      }
+      if (ok) {
+        rest.clear();
+        for (int r : rem) {
+          if (!std::binary_search(cls.begin(), cls.end(), r)) {
+            rest.push_back(r);
+          }
+        }
+        for (size_t a = 0; a < cls.size() && ok; ++a) {
+          for (int r : rest) {
+            if ((m.rel(cls[a], r) & constraints::kRelLt) == 0) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          current.push_back(cls);
+          std::vector<int> next = rest;  // rest is reused by this level
+          recurse(next);
+          current.pop_back();
+          if (bound || stopped) return;
+          continue;
+        }
+      }
+      ++pruned;
+    }
+  };
+  recurse(remaining);
+
+  if (pruned != 0) {
+    RELCONT_TRACE_COUNT(kDenseOrderBranchesPruned, pruned);
+    GlobalDenseOrderStats().pruned_branches.fetch_add(
+        pruned, std::memory_order_relaxed);
   }
-  for (const auto& [a, b] : distinct_) {
-    if (cls[a] == cls[b]) return false;
+  if (bound) {
+    GlobalDenseOrderStats().bound_hits.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization_dfs"));
+    return BoundReachedAt(
+        "linearization_dfs",
+        "enumeration exceeded the structural cap of " +
+            std::to_string(kDefaultMaxEnumerationNodes) +
+            " DFS nodes (install a WorkBudget to govern larger searches)");
   }
-  return true;
+  return Status::OK();
 }
 
-std::vector<Linearization> OrderConstraints::EnumerateLinearizations() const {
-  Close();
+Result<std::vector<Linearization>> OrderConstraints::EnumerateLinearizations()
+    const {
   int n = static_cast<int>(points_.size());
   std::vector<Linearization> out;
   if (n == 0) {
     out.push_back({});
     return out;
   }
-  if (TooManyPointsToEnumerate()) return out;
-  if (!IsSatisfiable()) return out;
+  if (TooManyPointsToEnumerate()) {
+    return BoundReachedAt(
+        "linearization",
+        std::to_string(points_.size()) +
+            " dense-order points exceed the enumerable cap of " +
+            std::to_string(kMaxEnumerablePoints));
+  }
+  const DenseOrderMatrix& m = Closed();
+  if (!m.consistent()) return out;  // unsatisfiable: zero linearizations
 
   std::vector<int> remaining(n);
   for (int i = 0; i < n; ++i) remaining[i] = i;
 
   Linearization current;
-  // The ordered-Bell explosion lives here, so this loop carries the budget:
-  // one step per candidate subset mask. When the budget trips the
-  // enumeration stops early and the result is INCOMPLETE — callers must
-  // probe the budget (BudgetOkOrBound) before treating the list as
-  // exhaustive.
+  // The ORIGINAL unpruned enumerator: subset masks over everything
+  // remaining, each checked against the matrix after the fact. Kept
+  // verbatim as the independent oracle the pruned DFS is differentially
+  // tested against; the budget still applies (the result is incomplete
+  // once it trips, hence the status below).
   WorkBudget* budget = CurrentBudget();
-  // Chooses the next minimal class from `remaining` and recurses.
-  // Subset enumeration by bitmask over the remaining points (|remaining|
-  // is at most the point count; practical queries stay small).
   std::function<void(std::vector<int>&)> recurse =
       [&](std::vector<int>& rem) {
         if (rem.empty()) {
           out.push_back(current);
           return;
         }
-        int m = static_cast<int>(rem.size());
-        for (uint64_t mask = 1; mask < (uint64_t{1} << m); ++mask) {
+        int width = static_cast<int>(rem.size());
+        for (uint64_t mask = 1; mask < (uint64_t{1} << width); ++mask) {
           if (budget != nullptr && !budget->Charge(1)) return;
           std::vector<int> cls;
           std::vector<int> rest;
-          for (int i = 0; i < m; ++i) {
-            if (mask & (uint64_t{1} << i)) {
+          for (int i = 0; i < width; ++i) {
+            if ((mask & (uint64_t{1} << i)) != 0) {
               cls.push_back(rem[i]);
             } else {
               rest.push_back(rem[i]);
             }
           }
-          // Class members must be mergeable (no strict order, no
-          // distinctness between them).
+          // Class members must be mergeable.
           bool ok = true;
           for (size_t a = 0; a < cls.size() && ok; ++a) {
             for (size_t b = a + 1; b < cls.size() && ok; ++b) {
-              if (ClosedRel(cls[a], cls[b]) == Rel::kLt ||
-                  ClosedRel(cls[b], cls[a]) == Rel::kLt ||
-                  ClosedDistinct(cls[a], cls[b])) {
+              if ((m.rel(cls[a], cls[b]) & constraints::kRelEq) == 0) {
                 ok = false;
               }
             }
           }
-          // Nothing left behind may be <= a class member.
+          // Nothing left behind may be forced <= a class member.
           for (size_t a = 0; a < cls.size() && ok; ++a) {
             for (int r : rest) {
-              if (ClosedRel(r, cls[a]) != Rel::kNone) {
+              if ((m.rel(r, cls[a]) & constraints::kRelGt) == 0) {
                 ok = false;
                 break;
               }
@@ -338,6 +362,7 @@ std::vector<Linearization> OrderConstraints::EnumerateLinearizations() const {
         }
       };
   recurse(remaining);
+  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization"));
   return out;
 }
 

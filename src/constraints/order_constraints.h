@@ -1,10 +1,14 @@
 #ifndef RELCONT_CONSTRAINTS_ORDER_CONSTRAINTS_H_
 #define RELCONT_CONSTRAINTS_ORDER_CONSTRAINTS_H_
 
+#include <functional>
 #include <map>
+#include <optional>
+#include <tuple>
 #include <vector>
 
 #include "common/status.h"
+#include "constraints/dense_order.h"
 #include "datalog/atom.h"
 
 namespace relcont {
@@ -22,9 +26,12 @@ using Linearization = std::vector<std::vector<int>>;
 /// of the dense domain and are rejected; callers resolve =/!= on symbols
 /// before invoking the solver.
 ///
-/// Supports satisfiability, entailment, and enumeration of all consistent
-/// linearizations — the machinery behind the complete containment test for
-/// conjunctive queries with comparison predicates (Klug; van der Meyden).
+/// Satisfiability and entailment are decided by the bitset pair-matrix
+/// engine (constraints/dense_order.h): polynomial closure, no enumeration,
+/// no cap on the point count. The linearization surface — needed by the
+/// complete containment test for CQs with comparisons (Klug; van der
+/// Meyden) — is streamed by ForEachLinearization, a DFS over the closed
+/// matrix that only explores class placements the matrix allows.
 class OrderConstraints {
  public:
   OrderConstraints() = default;
@@ -40,7 +47,8 @@ class OrderConstraints {
   Status AddAll(const std::vector<Comparison>& cs);
 
   /// True iff some assignment of rationals to the variables satisfies all
-  /// constraints (constants keeping their actual values).
+  /// constraints (constants keeping their actual values). Decided by
+  /// matrix closure — polynomial in the point count, never bounded.
   bool IsSatisfiable() const;
 
   /// True iff every satisfying assignment also satisfies `c`. Terms of `c`
@@ -48,33 +56,54 @@ class OrderConstraints {
   /// trivial facts about them are entailed). Returns false if `c` mentions
   /// a symbolic constant or if this constraint set is unsatisfiable... an
   /// unsatisfiable set entails everything, so that case returns true.
+  /// Decided by refutation on the pair matrix — polynomial, never bounded.
   bool Entails(const Comparison& c) const;
   bool EntailsAll(const std::vector<Comparison>& cs) const;
 
+  /// Streams every linearization (total preorder) of the registered points
+  /// that (a) satisfies all added constraints and (b) orders numeric
+  /// constants by value with distinct constants in distinct classes, in a
+  /// pruned DFS: a class of minimal points is only explored when the
+  /// closed pair matrix allows the placement, so heavily constrained sets
+  /// cost little more than their realizable linearizations. Stops early
+  /// when `visit` returns false (still OK — the visitor saw what it
+  /// needed). Returns kBoundReached when the current WorkBudget trips, or
+  /// — with no budget installed — when the structural node cap
+  /// kDefaultMaxEnumerationNodes is hit; either way the visited prefix is
+  /// incomplete and "held for every linearization" claims are unsound.
+  Status ForEachLinearization(
+      const std::function<bool(const Linearization&)>& visit) const;
+
+  /// DFS nodes (candidate class placements) the enumeration will explore
+  /// before giving up when no WorkBudget is installed. An installed
+  /// budget replaces this cap entirely.
+  static constexpr uint64_t kDefaultMaxEnumerationNodes = 1u << 20;
+
   /// The largest point set EnumerateLinearizations will attempt (ordered
   /// Bell numbers explode: 13 points already exceed 5·10^12 weak orders).
+  /// Applies only to the materializing oracle below, not to the streaming
+  /// DFS, the satisfiability check, or entailment.
   static constexpr int kMaxEnumerablePoints = 12;
 
-  /// True when the registered point set is too large to enumerate; callers
-  /// should surface kBoundReached instead of calling
-  /// EnumerateLinearizations.
+  /// True when the registered point set is too large for the materializing
+  /// oracle; EnumerateLinearizations returns kBoundReached in that case.
   bool TooManyPointsToEnumerate() const {
     return static_cast<int>(points_.size()) > kMaxEnumerablePoints;
   }
 
-  /// Enumerates every linearization (total preorder) of the registered
-  /// points that (a) satisfies all added constraints and (b) orders numeric
-  /// constants by value with distinct constants in distinct classes.
-  /// The count is bounded by the ordered Bell number of the point count —
-  /// exponential, as the Π₂ᴾ bounds predict. Returns an empty vector when
-  /// TooManyPointsToEnumerate() (check it first to distinguish from
-  /// unsatisfiable constraints).
-  std::vector<Linearization> EnumerateLinearizations() const;
+  /// Materializes every linearization via the ORIGINAL unpruned
+  /// subset-enumeration algorithm. Kept as the independent test oracle
+  /// for ForEachLinearization (tests/dense_order_differential_test.cc);
+  /// production callers use the streaming DFS. Returns kBoundReached
+  /// over the kMaxEnumerablePoints cap or when the budget trips, and an
+  /// empty vector (OK) for unsatisfiable constraints — the two cases are
+  /// no longer conflated.
+  Result<std::vector<Linearization>> EnumerateLinearizations() const;
 
   /// Assigns a concrete rational to every point of `lin`, consistent with
   /// the class order and with the actual values of constant points.
-  /// Requires `lin` to be one of the linearizations this instance generated
-  /// (constants in value order, one constant value per class).
+  /// Requires `lin` to be one of the linearizations this instance
+  /// generated (constants in value order, one constant value per class).
   std::map<Term, Rational> Realize(const Linearization& lin) const;
 
   /// The registered points in registration order.
@@ -83,35 +112,19 @@ class OrderConstraints {
   int PointIndex(const Term& t) const;
 
  private:
-  // Strongest derived relation from point i to point j.
-  enum class Rel : uint8_t { kNone = 0, kLe = 1, kLt = 2 };
-
-  static Rel Compose(Rel a, Rel b) {
-    if (a == Rel::kNone || b == Rel::kNone) return Rel::kNone;
-    return (a == Rel::kLt || b == Rel::kLt) ? Rel::kLt : Rel::kLe;
-  }
-  static Rel Stronger(Rel a, Rel b) { return a > b ? a : b; }
-
   Result<int> InternPoint(const Term& t);
-  void AddEdge(int from, int to, Rel rel);
-  void AddDistinct(int a, int b);
-  // Recomputes the transitive closure; called lazily.
-  void Close() const;
-  Rel ClosedRel(int i, int j) const;
-  bool ClosedDistinct(int i, int j) const;
-  // True iff the linearization satisfies every added raw constraint.
-  bool LinearizationSatisfies(const Linearization& lin) const;
+  void AddRaw(int i, int j, constraints::RelSet allowed);
+  // Builds and closes the pair matrix from the raw constraints (lazily;
+  // any Add invalidates the cache).
+  const constraints::DenseOrderMatrix& Closed() const;
 
   std::vector<Term> points_;
   std::map<Term, int> index_;
-  // Raw constraints as (i, Rel, j) edges plus a distinctness set.
-  std::vector<std::tuple<int, int, Rel>> edges_;
-  std::vector<std::pair<int, int>> distinct_;
+  // Raw constraints as (i, j, allowed-relation-set) triples.
+  std::vector<std::tuple<int, int, constraints::RelSet>> raw_;
 
-  // Lazily computed closure.
-  mutable bool closed_ = false;
-  mutable std::vector<Rel> closure_;        // n*n matrix
-  mutable std::vector<char> distinct_mat_;  // n*n matrix
+  // Lazily computed closed matrix.
+  mutable std::optional<constraints::DenseOrderMatrix> matrix_;
 };
 
 }  // namespace relcont

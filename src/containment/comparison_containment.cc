@@ -202,63 +202,68 @@ Result<bool> ContainedInUnionLinearized(const Rule& q1,
   }
   RELCONT_RETURN_NOT_OK(c1.AddAll(q1.comparisons));
   if (!c1.IsSatisfiable()) return true;
-  if (c1.TooManyPointsToEnumerate()) {
-    return BoundReachedAt(
-        "linearization",
-        std::to_string(c1.points().size()) +
-            " dense-order points exceed the enumerable cap of " +
-            std::to_string(OrderConstraints::kMaxEnumerablePoints) +
-            " and the semi-interval fast path did not apply");
-  }
 
+  // Stream the linearizations out of the pruned matrix DFS: nothing is
+  // materialized, the first uncovered linearization stops the walk, and
+  // there is no structural cap on the point count — only the budget (or
+  // the DFS node cap) bounds the search, surfacing as kBoundReached.
   RELCONT_TRACE_SPAN("comparison_linearizations");
-  std::vector<Linearization> lins = c1.EnumerateLinearizations();
-  // The enumeration stops early once the budget trips; a "covered in every
-  // linearization" verdict is only sound over the complete list.
-  RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization"));
-  for (const Linearization& lin : lins) {
-    RELCONT_TRACE_COUNT(kLinearizations, 1);
-    std::map<Term, Rational> sigma = c1.Realize(lin);
-    // Collapse q1 by the linearization: variables in a class with a
-    // constant become that constant; variables sharing a class collapse to
-    // one representative.
-    Substitution rho;
-    for (const std::vector<int>& cls : lin) {
-      // Pick a constant representative if present, else the first variable.
-      Term rep = c1.points()[cls[0]];
-      for (int p : cls) {
-        if (IsNumeric(c1.points()[p])) rep = c1.points()[p];
-      }
-      for (int p : cls) {
-        const Term& t = c1.points()[p];
-        if (t.is_variable() && !(t == rep)) rho.Bind(t.symbol(), rep);
-      }
-    }
-    Rule q1_collapsed = rho.Apply(q1);
+  bool all_covered = true;
+  Status truncated_search = Status::OK();
+  Status enumeration =
+      c1.ForEachLinearization([&](const Linearization& lin) {
+        RELCONT_TRACE_COUNT(kLinearizations, 1);
+        std::map<Term, Rational> sigma = c1.Realize(lin);
+        // Collapse q1 by the linearization: variables in a class with a
+        // constant become that constant; variables sharing a class
+        // collapse to one representative.
+        Substitution rho;
+        for (const std::vector<int>& cls : lin) {
+          // Pick a constant representative if present, else the first
+          // variable.
+          Term rep = c1.points()[cls[0]];
+          for (int p : cls) {
+            if (IsNumeric(c1.points()[p])) rep = c1.points()[p];
+          }
+          for (int p : cls) {
+            const Term& t = c1.points()[p];
+            if (t.is_variable() && !(t == rep)) rho.Bind(t.symbol(), rep);
+          }
+        }
+        Rule q1_collapsed = rho.Apply(q1);
 
-    bool covered = false;
-    for (const Rule& d : q2) {
-      if (d.head.arity() != q1.head.arity()) continue;
-      RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
-      bool found =
-          ForEachContainmentMapping(d, q1_collapsed, [&](const Substitution& h) {
-            for (const Comparison& c : d.comparisons) {
-              if (!ComparisonHoldsUnder(h.ApplyOnce(c), sigma)) return false;
-            }
-            return true;
-          });
-      if (found) {
-        covered = true;
-        break;
-      }
-    }
-    if (!covered) {
-      // An uncovered linearization is a counterexample only when every
-      // disjunct search ran to completion.
-      RELCONT_RETURN_NOT_OK(BudgetOkOrBound("linearization"));
-      return false;
-    }
-  }
+        bool covered = false;
+        for (const Rule& d : q2) {
+          if (d.head.arity() != q1.head.arity()) continue;
+          RELCONT_TRACE_COUNT(kDisjunctChecks, 1);
+          bool found = ForEachContainmentMapping(
+              d, q1_collapsed, [&](const Substitution& h) {
+                for (const Comparison& c : d.comparisons) {
+                  if (!ComparisonHoldsUnder(h.ApplyOnce(c), sigma)) {
+                    return false;
+                  }
+                }
+                return true;
+              });
+          if (found) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) {
+          // An uncovered linearization is a counterexample only when
+          // every disjunct search ran to completion.
+          truncated_search = BudgetOkOrBound("linearization");
+          all_covered = false;
+          return false;  // stop streaming either way
+        }
+        return true;
+      });
+  RELCONT_RETURN_NOT_OK(truncated_search);
+  if (!all_covered) return false;
+  // A "covered in every linearization" verdict is only sound when the
+  // stream ran to completion.
+  RELCONT_RETURN_NOT_OK(enumeration);
   return true;
 }
 

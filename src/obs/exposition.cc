@@ -79,6 +79,13 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
              ULL(s.plan_requests), ULL(s.rewrite_requests),
              ULL(s.plan_errors), ULL(s.unknown_verbs));
   AppendLine(&out,
+             "dense_order_propagations_total %llu\n"
+             "dense_order_pruned_branches_total %llu\n"
+             "dense_order_bound_hits_total %llu\n",
+             ULL(s.dense_order_propagations),
+             ULL(s.dense_order_pruned_branches),
+             ULL(s.dense_order_bound_hits));
+  AppendLine(&out,
              "cache_hits %llu\ncache_misses %llu\ncache_evictions "
              "%llu\ncache_entries %llu\n",
              ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
@@ -256,6 +263,22 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              ULL(s.plan_cache.hits), ULL(s.plan_cache.misses),
              ULL(s.plan_cache.evictions), ULL(s.plan_cache.invalidated),
              ULL(s.plan_cache.entries));
+  AppendLine(&out,
+             "# HELP relcont_dense_order_propagations_total Pair-matrix "
+             "cell narrowings performed by the dense-order engine.\n"
+             "# TYPE relcont_dense_order_propagations_total counter\n"
+             "relcont_dense_order_propagations_total %llu\n"
+             "# HELP relcont_dense_order_pruned_branches_total Linearization "
+             "DFS class placements rejected by the closed pair matrix.\n"
+             "# TYPE relcont_dense_order_pruned_branches_total counter\n"
+             "relcont_dense_order_pruned_branches_total %llu\n"
+             "# HELP relcont_dense_order_bound_hits_total Linearization "
+             "streams cut short by a budget or the structural node cap.\n"
+             "# TYPE relcont_dense_order_bound_hits_total counter\n"
+             "relcont_dense_order_bound_hits_total %llu\n",
+             ULL(s.dense_order_propagations),
+             ULL(s.dense_order_pruned_branches),
+             ULL(s.dense_order_bound_hits));
   out +=
       "# HELP relcont_request_latency_microseconds Request latency "
       "(cumulative power-of-two buckets).\n"

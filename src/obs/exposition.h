@@ -81,6 +81,13 @@ struct MetricsSnapshot {
   uint64_t rewrite_requests = 0;
   uint64_t plan_errors = 0;
   uint64_t unknown_verbs = 0;
+  /// Process-wide dense-order engine counters (constraints/dense_order.h):
+  /// pair-matrix cell narrowings, DFS class placements rejected by the
+  /// closed matrix, and linearization streams cut short by a budget or the
+  /// structural node cap.
+  uint64_t dense_order_propagations = 0;
+  uint64_t dense_order_pruned_branches = 0;
+  uint64_t dense_order_bound_hits = 0;
   std::vector<RegimeDecisions> decisions_by_regime;
   CacheStats cache;
   /// Counters of the planner's plan cache (all zero without a planner).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "constraints/dense_order.h"
 #include "relcont/version.h"
 
 namespace relcont {
@@ -119,6 +120,13 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   s.plan_errors = plan_errors();
   s.unknown_verbs = unknown_verbs();
   s.plan_cache = plan_cache;
+  const constraints::DenseOrderStats& dense =
+      constraints::GlobalDenseOrderStats();
+  s.dense_order_propagations =
+      dense.propagations.load(std::memory_order_relaxed);
+  s.dense_order_pruned_branches =
+      dense.pruned_branches.load(std::memory_order_relaxed);
+  s.dense_order_bound_hits = dense.bound_hits.load(std::memory_order_relaxed);
   for (int i = 0; i < kNumRegimes; ++i) {
     Regime regime = static_cast<Regime>(i);
     uint64_t count = RegimeCount(regime);

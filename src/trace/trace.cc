@@ -66,6 +66,10 @@ std::string_view CounterName(Counter c) {
       return "entailment_checks";
     case Counter::kClosureRecomputes:
       return "closure_recomputes";
+    case Counter::kDenseOrderPropagations:
+      return "dense_order_propagations";
+    case Counter::kDenseOrderBranchesPruned:
+      return "dense_order_branches_pruned";
     case Counter::kDomTreeOptions:
       return "dom_tree_options";
     case Counter::kDomCoresChecked:

@@ -9,6 +9,13 @@ namespace {
 
 class ConstraintsTest : public ::testing::Test {
  protected:
+  // Unwraps the materializing oracle (which must succeed in these tests).
+  std::vector<Linearization> Lins(const OrderConstraints& c) {
+    Result<std::vector<Linearization>> r = c.EnumerateLinearizations();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : std::vector<Linearization>{};
+  }
+
   // Parses the comparisons of a dummy rule "q() :- p(...), <comparisons>."
   std::vector<Comparison> Cmp(const std::string& comparisons) {
     Result<Rule> r =
@@ -144,13 +151,13 @@ TEST_F(ConstraintsTest, LinearizationsOfTwoFreePoints) {
   ASSERT_TRUE(c.AddPoint(Var("A")).ok());
   ASSERT_TRUE(c.AddPoint(Var("B")).ok());
   // A<B, A=B, A>B.
-  EXPECT_EQ(c.EnumerateLinearizations().size(), 3u);
+  EXPECT_EQ(Lins(c).size(), 3u);
 }
 
 TEST_F(ConstraintsTest, LinearizationsRespectConstraints) {
   OrderConstraints c;
   ASSERT_TRUE(c.AddAll(Cmp("A < B")).ok());
-  std::vector<Linearization> lins = c.EnumerateLinearizations();
+  std::vector<Linearization> lins = Lins(c);
   ASSERT_EQ(lins.size(), 1u);
   ASSERT_EQ(lins[0].size(), 2u);
   EXPECT_EQ(c.points()[lins[0][0][0]], Var("A"));
@@ -162,7 +169,7 @@ TEST_F(ConstraintsTest, LinearizationsThreeFreePointsOrderedBell) {
   ASSERT_TRUE(c.AddPoint(Var("B")).ok());
   ASSERT_TRUE(c.AddPoint(Var("C")).ok());
   // Ordered Bell number of 3 = 13.
-  EXPECT_EQ(c.EnumerateLinearizations().size(), 13u);
+  EXPECT_EQ(Lins(c).size(), 13u);
 }
 
 TEST_F(ConstraintsTest, LinearizationsKeepConstantsApart) {
@@ -171,7 +178,7 @@ TEST_F(ConstraintsTest, LinearizationsKeepConstantsApart) {
   ASSERT_TRUE(c.AddPoint(Term::Number(Rational(2))).ok());
   ASSERT_TRUE(c.AddPoint(Var("A")).ok());
   // A < 1, A = 1, 1 < A < 2, A = 2, A > 2.
-  EXPECT_EQ(c.EnumerateLinearizations().size(), 5u);
+  EXPECT_EQ(Lins(c).size(), 5u);
 }
 
 TEST_F(ConstraintsTest, LinearizationEnumerationGuardsLargePointSets) {
@@ -182,8 +189,13 @@ TEST_F(ConstraintsTest, LinearizationEnumerationGuardsLargePointSets) {
             .ok());
   }
   EXPECT_TRUE(c.TooManyPointsToEnumerate());
-  EXPECT_TRUE(c.EnumerateLinearizations().empty());
-  // The containment layer surfaces the guard as kBoundReached.
+  // The materializing oracle refuses over-cap point sets with an explicit
+  // status — no longer an empty vector indistinguishable from "unsat".
+  EXPECT_EQ(c.EnumerateLinearizations().status().code(),
+            StatusCode::kBoundReached);
+  // The containment layer surfaces the bound as kBoundReached: the
+  // streaming DFS has no point cap, but 15 unconstrained points exceed
+  // the default enumeration node cap.
   std::string body = "q(V0) :- ";
   for (int i = 0; i < 14; ++i) {
     if (i > 0) body += ", ";
@@ -206,7 +218,7 @@ TEST_F(ConstraintsTest, LinearizationEnumerationGuardsLargePointSets) {
 TEST_F(ConstraintsTest, RealizeAssignsConsistentValues) {
   OrderConstraints c;
   ASSERT_TRUE(c.AddAll(Cmp("A < B, B <= C, C < 10, D > 10")).ok());
-  for (const Linearization& lin : c.EnumerateLinearizations()) {
+  for (const Linearization& lin : Lins(c)) {
     std::map<Term, Rational> sigma = c.Realize(lin);
     EXPECT_LT(sigma.at(Var("A")), sigma.at(Var("B")));
     EXPECT_LE(sigma.at(Var("B")), sigma.at(Var("C")));
@@ -221,7 +233,7 @@ TEST_F(ConstraintsTest, RealizeRespectsClassStructure) {
   ASSERT_TRUE(c.AddPoint(Var("A")).ok());
   ASSERT_TRUE(c.AddPoint(Var("B")).ok());
   ASSERT_TRUE(c.AddPoint(Var("C")).ok());
-  for (const Linearization& lin : c.EnumerateLinearizations()) {
+  for (const Linearization& lin : Lins(c)) {
     std::map<Term, Rational> sigma = c.Realize(lin);
     // Rebuild class order from sigma and compare with lin.
     for (size_t i = 0; i < lin.size(); ++i) {
@@ -264,7 +276,7 @@ TEST_F(ConstraintsTest, EntailmentAgreesWithLinearizationSemantics) {
       ASSERT_TRUE(full.AddPoint(target.rhs).ok());
       ASSERT_TRUE(full.AddAll(Cmp(cs)).ok());
       bool all_lins_satisfy = true;
-      for (const Linearization& lin : full.EnumerateLinearizations()) {
+      for (const Linearization& lin : Lins(full)) {
         std::map<Term, Rational> sigma = full.Realize(lin);
         Rational a = target.lhs.is_constant() ? target.lhs.value().number()
                                               : sigma.at(target.lhs);
@@ -288,6 +300,83 @@ TEST_F(ConstraintsTest, EntailmentAgreesWithLinearizationSemantics) {
           << "constraints {" << cs << "} candidate {" << cand << "}";
     }
   }
+}
+
+// The pair-matrix engine has no point cap: satisfiability and entailment
+// are closure-based, so constraint sets far beyond the old 12-point
+// enumerable limit are decided outright (never kBoundReached).
+TEST_F(ConstraintsTest, SatisfiabilityAndEntailmentUncappedAtTwentyPoints) {
+  auto v = [&](int i) {
+    return Term::Var(interner_.Intern("V" + std::to_string(i)));
+  };
+  OrderConstraints c;
+  const int n = 24;
+  for (int i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(c.Add(Comparison(v(i), ComparisonOp::kLt, v(i + 1))).ok());
+  }
+  ASSERT_GT(c.points().size(), 20u);
+  EXPECT_TRUE(c.IsSatisfiable());
+  EXPECT_TRUE(c.Entails(Comparison(v(0), ComparisonOp::kLt, v(n - 1))));
+  EXPECT_TRUE(c.Entails(Comparison(v(0), ComparisonOp::kNe, v(n - 1))));
+  EXPECT_FALSE(c.Entails(Comparison(v(n - 1), ComparisonOp::kLe, v(0))));
+  // Closing the chain into a strict cycle is caught by closure alone.
+  ASSERT_TRUE(c.Add(Comparison(v(n - 1), ComparisonOp::kLe, v(0))).ok());
+  EXPECT_FALSE(c.IsSatisfiable());
+}
+
+TEST_F(ConstraintsTest, StreamingEnumerationHandlesTwentyPlusPoints) {
+  // A 20-point strict chain plus two free points: ~2k realizable
+  // linearizations out of an ordered-Bell space of ~10^21. The pruned DFS
+  // visits only what the closed matrix allows and completes without
+  // tripping the node cap.
+  auto v = [&](int i) {
+    return Term::Var(interner_.Intern("V" + std::to_string(i)));
+  };
+  OrderConstraints c;
+  for (int i = 0; i + 1 < 20; ++i) {
+    ASSERT_TRUE(c.Add(Comparison(v(i), ComparisonOp::kLt, v(i + 1))).ok());
+  }
+  ASSERT_TRUE(c.AddPoint(Var("Y")).ok());
+  ASSERT_TRUE(c.AddPoint(Var("Z")).ok());
+  ASSERT_EQ(c.points().size(), 22u);
+  uint64_t count = 0;
+  Status st = c.ForEachLinearization([&](const Linearization& lin) {
+    EXPECT_FALSE(lin.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_GT(count, 0u);
+}
+
+TEST_F(ConstraintsTest, ContainmentSucceedsBeyondOldEnumerationCap) {
+  // 22 dense-order points (20-chain plus free Y, Z): the old
+  // materialize-then-iterate path reported kBoundReached here; the
+  // streaming DFS decides it.
+  std::string body = "q(V0) :- ";
+  std::string comparisons;
+  for (int i = 0; i + 1 < 20; ++i) {
+    body += "p(V" + std::to_string(i) + ", V" + std::to_string(i + 1) + "), ";
+    comparisons +=
+        ", V" + std::to_string(i) + " < V" + std::to_string(i + 1);
+  }
+  body += "r(Y, Z)";
+  Result<Rule> q1 = ParseRule(body + comparisons + ".", &interner_);
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  // Case-split union on the free pair: no single disjunct is entailed, so
+  // the decision must walk the linearizations.
+  Result<Rule> le =
+      ParseRule("q(A) :- p(A, B), r(C, D), C <= D.", &interner_);
+  Result<Rule> ge =
+      ParseRule("q(A) :- p(A, B), r(C, D), C >= D.", &interner_);
+  ASSERT_TRUE(le.ok());
+  ASSERT_TRUE(ge.ok());
+  UnionQuery split;
+  split.disjuncts.push_back(*le);
+  split.disjuncts.push_back(*ge);
+  Result<bool> res = CqContainedInUnionComplete(*q1, split);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_TRUE(*res);
 }
 
 }  // namespace

@@ -295,7 +295,9 @@ TEST_F(ContainmentTest, ComparisonContainmentAgreesWithEvalOracle) {
     }
     ASSERT_TRUE(oc.AddAll(q1.comparisons).ok());
     bool oracle = true;
-    for (const Linearization& lin : oc.EnumerateLinearizations()) {
+    Result<std::vector<Linearization>> lins = oc.EnumerateLinearizations();
+    ASSERT_TRUE(lins.ok()) << lins.status().ToString();
+    for (const Linearization& lin : *lins) {
       std::map<Term, Rational> sigma = oc.Realize(lin);
       // Canonical database: q1's body under sigma.
       Substitution freeze;

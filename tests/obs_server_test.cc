@@ -292,6 +292,12 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
       {"\nrewrite_requests_total ", "\nrelcont_rewrite_requests_total "},
       {"\nplan_errors_total ", "\nrelcont_plan_errors_total "},
       {"\nunknown_verbs_total ", "\nrelcont_unknown_verb_total "},
+      {"\ndense_order_propagations_total ",
+       "\nrelcont_dense_order_propagations_total "},
+      {"\ndense_order_pruned_branches_total ",
+       "\nrelcont_dense_order_pruned_branches_total "},
+      {"\ndense_order_bound_hits_total ",
+       "\nrelcont_dense_order_bound_hits_total "},
       {"\nplan_cache_hits ", "\nrelcont_plan_cache_hits_total "},
       {"\nplan_cache_misses ", "\nrelcont_plan_cache_misses_total "},
       {"\nplan_cache_invalidated ",

@@ -113,6 +113,9 @@ obs::MetricsSnapshot FixtureSnapshot() {
   s.cache.misses = 35;
   s.cache.evictions = 1;
   s.cache.entries = 34;
+  s.dense_order_propagations = 901;
+  s.dense_order_pruned_branches = 77;
+  s.dense_order_bound_hits = 3;
   for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
     obs::HistogramBucket bucket;
     bucket.unbounded = i == LatencyHistogram::kBuckets - 1;
@@ -141,6 +144,19 @@ TEST(ExpositionTest, TextAndPrometheusRenderTheSameCounters) {
             std::string::npos);
   EXPECT_NE(text.find("cache_misses 35"), std::string::npos);
   EXPECT_NE(prom.find("relcont_cache_misses_total 35"), std::string::npos);
+  // The dense-order engine counters render in lockstep, distinct values
+  // each so a transposed field cannot slip through.
+  EXPECT_NE(text.find("dense_order_propagations_total 901"),
+            std::string::npos);
+  EXPECT_NE(prom.find("relcont_dense_order_propagations_total 901"),
+            std::string::npos);
+  EXPECT_NE(text.find("dense_order_pruned_branches_total 77"),
+            std::string::npos);
+  EXPECT_NE(prom.find("relcont_dense_order_pruned_branches_total 77"),
+            std::string::npos);
+  EXPECT_NE(text.find("dense_order_bound_hits_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("relcont_dense_order_bound_hits_total 3"),
+            std::string::npos);
   EXPECT_NE(text.find("latency_us_count 42"), std::string::npos);
   EXPECT_NE(prom.find("relcont_request_latency_microseconds_count 42"),
             std::string::npos);
