@@ -66,7 +66,8 @@ std::vector<DecisionRequest> DistinctPairs(int count,
 
 Measurement Run(ContainmentService* service,
                 const std::vector<DecisionRequest>& requests, int threads,
-                const char* cache_label) {
+                const char* cache_label,
+                bench::Samples* latencies = nullptr) {
   Measurement m;
   m.threads = threads;
   m.cache = cache_label;
@@ -81,6 +82,9 @@ Measurement Run(ContainmentService* service,
     if (!r.status.ok()) {
       std::fprintf(stderr, "request failed: %s\n",
                    r.status.ToString().c_str());
+    }
+    if (latencies != nullptr) {
+      latencies->Add(static_cast<double>(r.latency_micros));
     }
   }
   std::printf("  threads=%d cache=%-4s requests=%zu  %.0f req/s\n",
@@ -114,16 +118,22 @@ int Main() {
   std::printf("bench_service: %zu distinct pairs, cold=%zu warm=%zu\n",
               pairs.size(), cold.size(), warm.size());
   std::vector<Measurement> results;
+  bench::Samples cold_latency_us;
+  bench::Samples warm_latency_us;
   for (int threads : {1, 4, 8}) {
     ContainmentService service;
     if (!service.catalogs().Register("bench", views_text).ok()) {
       std::fprintf(stderr, "catalog registration failed\n");
       return 1;
     }
-    results.push_back(Run(&service, cold, threads, "cold"));
+    // Per-request latency distributions come from the 8-thread runs —
+    // the contended configuration is where the tail lives.
+    results.push_back(Run(&service, cold, threads, "cold",
+                          threads == 8 ? &cold_latency_us : nullptr));
     // Prewarm, then measure the steady state.
     service.ExecuteBatch(pairs, threads);
-    results.push_back(Run(&service, warm, threads, "warm"));
+    results.push_back(Run(&service, warm, threads, "warm",
+                          threads == 8 ? &warm_latency_us : nullptr));
   }
 
   double cold1 = 0;
@@ -150,6 +160,17 @@ int Main() {
     metrics.push_back(std::move(metric));
   }
   metrics.push_back({"speedup_warm8_vs_cold1", speedup, "x", true});
+  // Tail latency of the contended runs: value is the median, p50/p95/p99
+  // ride along so bench_compare can gate on tail drift specifically.
+  metrics.push_back(bench::DistributionMetric(
+      "cold_8t_request_latency_us", cold_latency_us, "us",
+      /*higher_is_better=*/false));
+  metrics.push_back(bench::DistributionMetric(
+      "warm_8t_request_latency_us", warm_latency_us, "us",
+      /*higher_is_better=*/false));
+  std::printf("warm 8t latency us: p50=%.0f p95=%.0f p99=%.0f\n",
+              warm_latency_us.Median(), warm_latency_us.P95(),
+              warm_latency_us.P99());
   if (!bench::WriteBenchJson("BENCH_service.json", "service_throughput",
                              metrics)) {
     return 1;

@@ -91,6 +91,7 @@ struct Samples {
   }
   double Median() const { return Quantile(0.5); }
   double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
 
   double Quantile(double q) const {
     if (values.empty()) return 0;
@@ -108,7 +109,33 @@ struct Metric {
   /// Direction of goodness — bench_compare flags a regression only when
   /// the current value is worse in this direction.
   bool higher_is_better = true;
+  /// Optional per-run distribution. When set, WriteBenchJson additionally
+  /// emits `p50`/`p95`/`p99` keys and bench_compare gates on p99 drift in
+  /// the metric's direction — but only when BOTH files carry percentiles,
+  /// so files written before this field existed still compare cleanly.
+  bool has_percentiles = false;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
 };
+
+/// A metric summarizing a sample distribution: `value` is the median and
+/// the p50/p95/p99 order statistics ride along for tail gating.
+inline Metric DistributionMetric(const std::string& name,
+                                 const Samples& samples,
+                                 const std::string& unit,
+                                 bool higher_is_better) {
+  Metric m;
+  m.name = name;
+  m.value = samples.Median();
+  m.unit = unit;
+  m.higher_is_better = higher_is_better;
+  m.has_percentiles = true;
+  m.p50 = samples.Median();
+  m.p95 = samples.P95();
+  m.p99 = samples.P99();
+  return m;
+}
 
 /// Writes `path` in the relcont-bench-v1 schema. Returns false (and
 /// prints to stderr) when the file cannot be written.
@@ -139,10 +166,14 @@ inline bool WriteBenchJson(const std::string& path, const std::string& name,
     const Metric& m = metrics[i];
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
-                 "\"higher_is_better\": %s}%s\n",
+                 "\"higher_is_better\": %s",
                  m.name.c_str(), m.value, m.unit.c_str(),
-                 m.higher_is_better ? "true" : "false",
-                 i + 1 < metrics.size() ? "," : "");
+                 m.higher_is_better ? "true" : "false");
+    if (m.has_percentiles) {
+      std::fprintf(out, ", \"p50\": %.6g, \"p95\": %.6g, \"p99\": %.6g",
+                   m.p50, m.p95, m.p99);
+    }
+    std::fprintf(out, "}%s\n", i + 1 < metrics.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);

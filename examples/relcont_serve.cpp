@@ -4,8 +4,11 @@
 //     docs/SERVICE.md, so the binary composes with pipes and harnesses.
 //   * TCP (--port N): a listener that runs one protocol session per
 //     connection and additionally answers HTTP GETs — /metrics (Prometheus
-//     text exposition), /healthz, /buildz. SIGINT/SIGTERM shut it down
-//     gracefully (live sessions are drained before exit).
+//     text exposition), /statusz (JSON status), /healthz, /buildz. SIGINT
+//     shuts it down immediately; SIGTERM starts a graceful drain —
+//     /healthz answers 503 "draining" for --drain-grace-ms so a load
+//     balancer can deregister the node, then the listener closes and live
+//     sessions are drained before exit.
 //
 //   $ ./build/examples/relcont_serve
 //   > CATALOG cars VIEW redcars(C, M, Y) :- cardesc(C, M, red, Y).
@@ -32,6 +35,10 @@
 //                      ERR BoundReached, not a verdict
 //   --workers N        parallel scan width for requests without workers=
 //                      (default 1 = serial)
+//   --window-secs N    trailing window for the long latency percentiles in
+//                      METRICS / STATUSZ / /statusz (default 60, max 126)
+//   --drain-grace-ms N how long SIGTERM keeps /healthz at 503 before the
+//                      listener closes (default 0 = immediate)
 
 #include <cerrno>
 #include <csignal>
@@ -44,15 +51,23 @@
 
 #include "obs/access_log.h"
 #include "obs/server.h"
+#include "obs/window.h"
 #include "service/protocol.h"
 
 namespace {
 
 relcont::obs::ObsServer* g_server = nullptr;
 
-void HandleSignal(int /*signum*/) {
-  // Async-signal-safe: Shutdown is an atomic store plus shutdown(2).
-  if (g_server != nullptr) g_server->Shutdown();
+void HandleSignal(int signum) {
+  // Async-signal-safe: both entry points are atomic stores (plus a
+  // shutdown(2) for the immediate path). SIGTERM drains gracefully so a
+  // router sees /healthz flip before the port goes away; SIGINT stops now.
+  if (g_server == nullptr) return;
+  if (signum == SIGTERM) {
+    g_server->RequestDrain();
+  } else {
+    g_server->Shutdown();
+  }
 }
 
 int Usage() {
@@ -61,7 +76,9 @@ int Usage() {
                "[--trace] [--slow-log N]\n"
                "                     [--port N] [--access-log FILE] "
                "[--log-sample R]\n"
-               "                     [--default-timeout-ms N] [--workers N]\n");
+               "                     [--default-timeout-ms N] [--workers N] "
+               "[--window-secs N]\n"
+               "                     [--drain-grace-ms N]\n");
   return 2;
 }
 
@@ -90,6 +107,7 @@ int main(int argc, char** argv) {
   bool interactive = true;
   long long threads = 4;
   long long port = -1;  // -1 = stdio mode
+  long long drain_grace_ms = 0;
   std::string access_log_path;
   long long log_sample = 1;
   relcont::ServiceConfig config;
@@ -133,6 +151,19 @@ int main(int argc, char** argv) {
       if (!ParseIntFlag(arg, value, 1, 1024, &workers)) return Usage();
       config.default_parallel_workers = static_cast<int>(workers);
       ++i;
+    } else if (std::strcmp(arg, "--window-secs") == 0) {
+      long long window = 0;
+      if (!ParseIntFlag(arg, value, 1, relcont::obs::WindowRing::kMaxWindowSecs,
+                        &window)) {
+        return Usage();
+      }
+      config.window_secs = static_cast<int>(window);
+      ++i;
+    } else if (std::strcmp(arg, "--drain-grace-ms") == 0) {
+      if (!ParseIntFlag(arg, value, 0, 1LL << 30, &drain_grace_ms)) {
+        return Usage();
+      }
+      ++i;
     } else {
       return Usage();
     }
@@ -159,6 +190,7 @@ int main(int argc, char** argv) {
     server_options.port = static_cast<int>(port);
     server_options.batch_threads = static_cast<int>(threads);
     server_options.access_log = access_log.get();
+    server_options.drain_grace_ms = static_cast<int>(drain_grace_ms);
     relcont::obs::ObsServer server(&service, server_options);
     relcont::Status status = server.Start();
     if (!status.ok()) {
@@ -170,7 +202,8 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, HandleSignal);
     std::fprintf(stderr,
                  "relcont_serve: listening on port %d "
-                 "(protocol over TCP; GET /metrics /healthz /buildz)\n",
+                 "(protocol over TCP; GET /metrics /statusz /healthz "
+                 "/buildz)\n",
                  server.port());
     server.Serve();
     g_server = nullptr;

@@ -1,5 +1,7 @@
 #include "common/budget.h"
 
+#include <map>
+#include <mutex>
 #include <string>
 
 #include "trace/trace.h"
@@ -8,6 +10,19 @@ namespace relcont {
 namespace {
 
 thread_local WorkBudget* g_current_budget = nullptr;
+
+// Process-wide bound-site registry. A mutex-guarded map is fine here:
+// sites only trip on the error path of a decision, never inside a search
+// loop, and the set of distinct sites is small and static.
+struct BoundSiteRegistry {
+  std::mutex mu;
+  std::map<std::string, uint64_t> counts;
+};
+
+BoundSiteRegistry& GlobalBoundSites() {
+  static BoundSiteRegistry* registry = new BoundSiteRegistry();
+  return *registry;
+}
 
 }  // namespace
 
@@ -113,8 +128,22 @@ Status BudgetChargeOr(std::string_view site, uint64_t n) {
   return b->ToStatus(site);
 }
 
+void NoteBoundSite(std::string_view site) {
+  BoundSiteRegistry& registry = GlobalBoundSites();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ++registry.counts[std::string(site)];
+}
+
+std::vector<std::pair<std::string, uint64_t>> BoundSiteCounts() {
+  BoundSiteRegistry& registry = GlobalBoundSites();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return std::vector<std::pair<std::string, uint64_t>>(
+      registry.counts.begin(), registry.counts.end());
+}
+
 Status BoundReachedAt(std::string_view site, std::string_view detail) {
   RELCONT_TRACE_COUNT(kBoundHits, 1);
+  NoteBoundSite(site);
   std::string message = "bound reached [";
   message.append(site);
   message.append("]: ");

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -188,9 +191,23 @@ Status BudgetChargeOr(std::string_view site, uint64_t n = 1);
 /// The ONE formatter for resource-bound failures, whether budget-driven or
 /// a structural cap (max_facts, linearization point cap, dom saturation
 /// caps): returns `kBoundReached` with the message
-/// "bound reached [<site>]: <detail>" and bumps the `bound_hits` trace
-/// counter, so every bound hit is grep-able and countable the same way.
+/// "bound reached [<site>]: <detail>", bumps the `bound_hits` trace
+/// counter, and attributes the trip to `site` in the process-wide
+/// bound-site registry below — so every bound hit is grep-able, countable,
+/// and attributable the same way.
 Status BoundReachedAt(std::string_view site, std::string_view detail);
+
+/// Records one bound trip against `site` in the process-wide registry.
+/// Called by BoundReachedAt for every minted status; services may also
+/// call it directly to attribute an aggregation-level outcome (e.g. the
+/// planner counting a whole request that ended kBoundReached), so the sum
+/// over sites can exceed the number of distinct bound statuses.
+void NoteBoundSite(std::string_view site);
+
+/// The registry contents as (site, trips) pairs in lexicographic site
+/// order. Counts are cumulative since process start; sites appear once
+/// they have tripped at least once.
+std::vector<std::pair<std::string, uint64_t>> BoundSiteCounts();
 
 }  // namespace relcont
 

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/json.h"
+
 namespace relcont {
 namespace obs {
 
@@ -69,6 +71,16 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
   AppendLine(&out,
              "parallel_tasks_spawned %llu\nparallel_tasks_completed %llu\n",
              ULL(s.parallel_tasks_spawned), ULL(s.parallel_tasks_completed));
+  AppendLine(&out,
+             "inflight_requests %lld\nopen_connections %lld\n"
+             "batch_queue_depth %lld\n",
+             static_cast<long long>(s.inflight_requests),
+             static_cast<long long>(s.open_connections),
+             static_cast<long long>(s.batch_queue_depth));
+  AppendLine(&out, "draining %d\n", s.draining ? 1 : 0);
+  AppendLine(&out,
+             "http_rejected_431_total %llu\nhttp_rejected_408_total %llu\n",
+             ULL(s.http_rejected_431), ULL(s.http_rejected_408));
   for (const RegimeDecisions& regime : s.decisions_by_regime) {
     AppendLine(&out, "decisions_by_regime{%s} %llu\n", regime.regime.c_str(),
                ULL(regime.count));
@@ -85,6 +97,37 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
              ULL(s.dense_order_propagations),
              ULL(s.dense_order_pruned_branches),
              ULL(s.dense_order_bound_hits));
+  for (const BoundSiteCount& site : s.bound_sites) {
+    AppendLine(&out, "bound_hits_total{site=\"%s\"} %llu\n",
+               site.site.c_str(), ULL(site.count));
+  }
+  for (const WindowLatency& w : s.window_latency) {
+    AppendLine(&out,
+               "window_latency_requests{verb=\"%s\",regime=\"%s\","
+               "window=\"%ds\"} %llu\n",
+               w.verb.c_str(), w.regime.c_str(), w.window_secs,
+               ULL(w.count));
+    AppendLine(&out,
+               "window_latency_us{verb=\"%s\",regime=\"%s\",window=\"%ds\","
+               "q=\"p50\"} %llu\n",
+               w.verb.c_str(), w.regime.c_str(), w.window_secs,
+               ULL(w.p50_micros));
+    AppendLine(&out,
+               "window_latency_us{verb=\"%s\",regime=\"%s\",window=\"%ds\","
+               "q=\"p90\"} %llu\n",
+               w.verb.c_str(), w.regime.c_str(), w.window_secs,
+               ULL(w.p90_micros));
+    AppendLine(&out,
+               "window_latency_us{verb=\"%s\",regime=\"%s\",window=\"%ds\","
+               "q=\"p99\"} %llu\n",
+               w.verb.c_str(), w.regime.c_str(), w.window_secs,
+               ULL(w.p99_micros));
+    AppendLine(&out,
+               "window_latency_us{verb=\"%s\",regime=\"%s\",window=\"%ds\","
+               "q=\"max\"} %llu\n",
+               w.verb.c_str(), w.regime.c_str(), w.window_secs,
+               ULL(w.max_micros));
+  }
   AppendLine(&out,
              "cache_hits %llu\ncache_misses %llu\ncache_evictions "
              "%llu\ncache_entries %llu\n",
@@ -196,6 +239,35 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              "# TYPE relcont_parallel_tasks_completed_total counter\n"
              "relcont_parallel_tasks_completed_total %llu\n",
              ULL(s.parallel_tasks_completed));
+  AppendLine(&out,
+             "# HELP relcont_inflight_requests Requests currently being "
+             "decided.\n"
+             "# TYPE relcont_inflight_requests gauge\n"
+             "relcont_inflight_requests %lld\n"
+             "# HELP relcont_open_connections TCP connections currently "
+             "open on the obs server.\n"
+             "# TYPE relcont_open_connections gauge\n"
+             "relcont_open_connections %lld\n"
+             "# HELP relcont_batch_queue_depth Batch items queued but not "
+             "yet claimed by a worker.\n"
+             "# TYPE relcont_batch_queue_depth gauge\n"
+             "relcont_batch_queue_depth %lld\n",
+             static_cast<long long>(s.inflight_requests),
+             static_cast<long long>(s.open_connections),
+             static_cast<long long>(s.batch_queue_depth));
+  AppendLine(&out,
+             "# HELP relcont_draining 1 between SIGTERM drain start and "
+             "listener close, else 0.\n"
+             "# TYPE relcont_draining gauge\n"
+             "relcont_draining %d\n",
+             s.draining ? 1 : 0);
+  AppendLine(&out,
+             "# HELP relcont_http_rejected_total HTTP requests rejected by "
+             "the parser hardening, by status code.\n"
+             "# TYPE relcont_http_rejected_total counter\n"
+             "relcont_http_rejected_total{code=\"431\"} %llu\n"
+             "relcont_http_rejected_total{code=\"408\"} %llu\n",
+             ULL(s.http_rejected_431), ULL(s.http_rejected_408));
   out +=
       "# HELP relcont_decisions_total Decisions per paper regime.\n"
       "# TYPE relcont_decisions_total counter\n";
@@ -279,6 +351,51 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              ULL(s.dense_order_propagations),
              ULL(s.dense_order_pruned_branches),
              ULL(s.dense_order_bound_hits));
+  if (!s.bound_sites.empty()) {
+    out +=
+        "# HELP relcont_bound_hits_total Bound trips per budget site "
+        "(the [site] tag of kBoundReached statuses).\n"
+        "# TYPE relcont_bound_hits_total counter\n";
+    for (const BoundSiteCount& site : s.bound_sites) {
+      AppendLine(&out, "relcont_bound_hits_total{site=\"%s\"} %llu\n",
+                 LabelEscaped(site.site).c_str(), ULL(site.count));
+    }
+  }
+  if (!s.window_latency.empty()) {
+    out +=
+        "# HELP relcont_window_latency_requests Requests recorded in the "
+        "trailing window per verb and regime.\n"
+        "# TYPE relcont_window_latency_requests gauge\n";
+    for (const WindowLatency& w : s.window_latency) {
+      AppendLine(&out,
+                 "relcont_window_latency_requests{verb=\"%s\",regime=\"%s\","
+                 "window=\"%ds\"} %llu\n",
+                 LabelEscaped(w.verb).c_str(), LabelEscaped(w.regime).c_str(),
+                 w.window_secs, ULL(w.count));
+    }
+    out +=
+        "# HELP relcont_window_latency_microseconds Windowed latency "
+        "quantiles per verb and regime (upper-bound bucket estimates; max "
+        "is exact).\n"
+        "# TYPE relcont_window_latency_microseconds gauge\n";
+    for (const WindowLatency& w : s.window_latency) {
+      const struct {
+        const char* q;
+        uint64_t value;
+      } rows[] = {{"p50", w.p50_micros},
+                  {"p90", w.p90_micros},
+                  {"p99", w.p99_micros},
+                  {"max", w.max_micros}};
+      for (const auto& row : rows) {
+        AppendLine(&out,
+                   "relcont_window_latency_microseconds{verb=\"%s\","
+                   "regime=\"%s\",window=\"%ds\",quantile=\"%s\"} %llu\n",
+                   LabelEscaped(w.verb).c_str(),
+                   LabelEscaped(w.regime).c_str(), w.window_secs, row.q,
+                   ULL(row.value));
+      }
+    }
+  }
   out +=
       "# HELP relcont_request_latency_microseconds Request latency "
       "(cumulative power-of-two buckets).\n"
@@ -333,6 +450,107 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
                  LabelEscaped(phase.name).c_str(), ULL(phase.calls));
     }
   }
+  return out;
+}
+
+namespace {
+
+double HitRate(uint64_t hits, uint64_t misses) {
+  const uint64_t lookups = hits + misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+}  // namespace
+
+std::string RenderStatuszJson(const MetricsSnapshot& s) {
+  std::string out;
+  out += "{\"version\":";
+  json::AppendEscaped(s.version, &out);
+  AppendLine(&out,
+             ",\"trace_compiled_in\":%s"
+             ",\"start_time_unix_seconds\":%lld"
+             ",\"uptime_seconds\":%.3f"
+             ",\"draining\":%s",
+             s.trace_compiled_in ? "true" : "false",
+             static_cast<long long>(s.start_time_unix_seconds),
+             s.uptime_seconds, s.draining ? "true" : "false");
+  AppendLine(&out, ",\"windows\":{\"short_secs\":%d,\"long_secs\":%d",
+             s.short_window_secs, s.long_window_secs);
+  out += ",\"latency\":[";
+  for (size_t i = 0; i < s.window_latency.size(); ++i) {
+    const WindowLatency& w = s.window_latency[i];
+    if (i > 0) out += ',';
+    out += "{\"verb\":";
+    json::AppendEscaped(w.verb, &out);
+    out += ",\"regime\":";
+    json::AppendEscaped(w.regime, &out);
+    AppendLine(&out,
+               ",\"window_secs\":%d,\"count\":%llu,\"p50_us\":%llu,"
+               "\"p90_us\":%llu,\"p99_us\":%llu,\"max_us\":%llu}",
+               w.window_secs, ULL(w.count), ULL(w.p50_micros),
+               ULL(w.p90_micros), ULL(w.p99_micros), ULL(w.max_micros));
+  }
+  out += "]}";
+  AppendLine(&out,
+             ",\"gauges\":{\"inflight_requests\":%lld,"
+             "\"open_connections\":%lld,\"batch_queue_depth\":%lld}",
+             static_cast<long long>(s.inflight_requests),
+             static_cast<long long>(s.open_connections),
+             static_cast<long long>(s.batch_queue_depth));
+  AppendLine(&out,
+             ",\"requests\":{\"total\":%llu,\"errors\":%llu,"
+             "\"cache_hits\":%llu,\"deadline_exceeded\":%llu,"
+             "\"plan_requests\":%llu,\"rewrite_requests\":%llu,"
+             "\"plan_errors\":%llu,\"unknown_verbs\":%llu}",
+             ULL(s.requests), ULL(s.errors), ULL(s.request_cache_hits),
+             ULL(s.deadline_exceeded), ULL(s.plan_requests),
+             ULL(s.rewrite_requests), ULL(s.plan_errors),
+             ULL(s.unknown_verbs));
+  AppendLine(&out,
+             ",\"cache\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+             "\"entries\":%llu,\"hit_rate\":%.4f}",
+             ULL(s.cache.hits), ULL(s.cache.misses), ULL(s.cache.evictions),
+             ULL(s.cache.entries), HitRate(s.cache.hits, s.cache.misses));
+  AppendLine(&out,
+             ",\"plan_cache\":{\"hits\":%llu,\"misses\":%llu,"
+             "\"evictions\":%llu,\"invalidated\":%llu,\"entries\":%llu,"
+             "\"hit_rate\":%.4f}",
+             ULL(s.plan_cache.hits), ULL(s.plan_cache.misses),
+             ULL(s.plan_cache.evictions), ULL(s.plan_cache.invalidated),
+             ULL(s.plan_cache.entries),
+             HitRate(s.plan_cache.hits, s.plan_cache.misses));
+  AppendLine(&out,
+             ",\"http\":{\"rejected_431\":%llu,\"rejected_408\":%llu}",
+             ULL(s.http_rejected_431), ULL(s.http_rejected_408));
+  out += ",\"bound_sites\":[";
+  for (size_t i = 0; i < s.bound_sites.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"site\":";
+    json::AppendEscaped(s.bound_sites[i].site, &out);
+    AppendLine(&out, ",\"count\":%llu}", ULL(s.bound_sites[i].count));
+  }
+  out += "],\"slow_requests\":[";
+  for (size_t i = 0; i < s.slow_log.size(); ++i) {
+    const SlowEntry& slow = s.slow_log[i];
+    if (i > 0) out += ',';
+    AppendLine(&out, "{\"latency_us\":%llu,\"regime\":",
+               ULL(slow.latency_micros));
+    json::AppendEscaped(slow.regime, &out);
+    out += ",\"description\":";
+    json::AppendEscaped(slow.description, &out);
+    out += ",\"phases\":[";
+    for (size_t j = 0; j < slow.top_phases.size(); ++j) {
+      const PhaseSnapshot& phase = slow.top_phases[j];
+      if (j > 0) out += ',';
+      out += "{\"name\":";
+      json::AppendEscaped(phase.name, &out);
+      AppendLine(&out, ",\"ns\":%llu,\"calls\":%llu}", ULL(phase.ns),
+                 ULL(phase.calls));
+    }
+    out += "]}";
+  }
+  out += "]}\n";
   return out;
 }
 

@@ -51,6 +51,31 @@ struct SlowEntry {
   std::string regime;
   std::string description;
   std::string trace_text;
+  /// The request's dominant phases (root span + its direct children,
+  /// aggregated by name, worst first) — the /statusz-sized digest of
+  /// trace_text.
+  std::vector<PhaseSnapshot> top_phases;
+};
+
+/// Windowed latency percentiles for one (verb, regime, window) cell.
+/// `regime == "all"` folds every regime of the verb into one row; per-verb
+/// "all" rows are always present, per-regime rows only when nonempty.
+struct WindowLatency {
+  std::string verb;    ///< "contained" | "plan" | "rewrite"
+  std::string regime;  ///< RegimeName(...) or "all"
+  int window_secs = 0;
+  uint64_t count = 0;
+  uint64_t p50_micros = 0;
+  uint64_t p90_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t max_micros = 0;
+};
+
+/// Cumulative bound trips attributed to one budget site (the `[site]` tag
+/// minted by BoundReachedAt in common/budget.h).
+struct BoundSiteCount {
+  std::string site;
+  uint64_t count = 0;
 };
 
 /// A point-in-time copy of every service counter plus build/uptime
@@ -100,6 +125,30 @@ struct MetricsSnapshot {
   std::vector<TraceCounterTotal> trace_counter_totals;
   std::vector<PhaseSnapshot> phases;
   std::vector<SlowEntry> slow_log;
+
+  /// Sliding-window percentiles (src/obs/window.h): the trailing
+  /// short/long windows, one row per (verb, regime, window) with traffic
+  /// plus always-present per-verb "all" rows.
+  int short_window_secs = 0;
+  int long_window_secs = 0;
+  std::vector<WindowLatency> window_latency;
+
+  /// Live gauges: requests currently inside Service::Decide, TCP
+  /// connections currently open on the obs server, and batch items queued
+  /// but not yet claimed by a worker.
+  int64_t inflight_requests = 0;
+  int64_t open_connections = 0;
+  int64_t batch_queue_depth = 0;
+  /// True between SIGTERM drain start and listener close (/healthz 503).
+  bool draining = false;
+
+  /// HTTP requests rejected by the parser hardening: oversized request
+  /// line/headers (431) and slow clients cut off mid-request (408).
+  uint64_t http_rejected_431 = 0;
+  uint64_t http_rejected_408 = 0;
+
+  /// Cumulative bound trips per budget site, lexicographic by site.
+  std::vector<BoundSiteCount> bound_sites;
 };
 
 /// The METRICS verb rendering: the line-oriented text dump served over the
@@ -113,6 +162,14 @@ std::string RenderMetricsText(const MetricsSnapshot& snapshot);
 /// `relcont_build_info` identity gauge. The slow log is omitted — it is
 /// free-form text, not a numeric series.
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// The introspection rendering served by the `STATUSZ` protocol verb and
+/// `GET /statusz`: one JSON object (newline-terminated) summarizing
+/// uptime, windowed percentiles, gauges, cache hit rates, bound-site
+/// attribution, and the recent slow requests with their top-phase
+/// breakdown. Same MetricsSnapshot as the other two renderers, so the
+/// three surfaces cannot drift.
+std::string RenderStatuszJson(const MetricsSnapshot& snapshot);
 
 }  // namespace obs
 }  // namespace relcont

@@ -104,8 +104,14 @@ std::string_view HttpReason(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }

@@ -3,9 +3,11 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/json.h"
@@ -42,6 +44,10 @@ class FdLineReader {
       char chunk[4096];
       ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        timed_out_ = true;  // SO_RCVTIMEO expired mid-read.
+        return false;
+      }
       if (n <= 0) return false;
       buffer_.append(chunk, static_cast<size_t>(n));
       // A protocol or header line this long is hostile input — bail.
@@ -49,10 +55,15 @@ class FdLineReader {
     }
   }
 
+  /// True once a ReadLine failed because the socket's receive timeout
+  /// expired (as opposed to EOF or a hard error).
+  bool timed_out() const { return timed_out_; }
+
  private:
   int fd_;
   std::string buffer_;
   size_t pos_ = 0;
+  bool timed_out_ = false;
 };
 
 bool SendAll(int fd, std::string_view data) {
@@ -71,7 +82,9 @@ ObsServer::ObsServer(ContainmentService* service, ServerOptions options)
     : service_(service), options_(options) {}
 
 ObsServer::~ObsServer() {
+  watchdog_stop_.store(true, std::memory_order_release);
   Shutdown();
+  if (drain_watchdog_.joinable()) drain_watchdog_.join();
   ReapConnections(/*all=*/true);
   if (listen_fd_ >= 0) ::close(listen_fd_);
 }
@@ -108,6 +121,11 @@ Status ObsServer::Start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
       0) {
     port_ = ntohs(addr.sin_port);
+  }
+  // RequestDrain is async-signal-safe, so it cannot spawn this thread
+  // itself — it only flips an atomic the watchdog polls.
+  if (!drain_watchdog_.joinable()) {
+    drain_watchdog_ = std::thread([this] { DrainWatchdog(); });
   }
   return Status::OK();
 }
@@ -146,6 +164,32 @@ void ObsServer::Shutdown() {
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
 }
 
+void ObsServer::RequestDrain() {
+  draining_.store(true, std::memory_order_release);
+  service_->metrics().set_draining(true);
+}
+
+void ObsServer::DrainWatchdog() {
+  const auto tick = std::chrono::milliseconds(10);
+  while (!watchdog_stop_.load(std::memory_order_acquire) &&
+         !stopping_.load(std::memory_order_acquire)) {
+    if (draining_.load(std::memory_order_acquire)) {
+      // Grace period: /healthz already answers 503, so a router has this
+      // long to deregister the node before the listener closes.
+      auto deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(options_.drain_grace_ms);
+      while (std::chrono::steady_clock::now() < deadline &&
+             !watchdog_stop_.load(std::memory_order_acquire) &&
+             !stopping_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(tick);
+      }
+      if (!watchdog_stop_.load(std::memory_order_acquire)) Shutdown();
+      return;
+    }
+    std::this_thread::sleep_for(tick);
+  }
+}
+
 void ObsServer::ReapConnections(bool all) {
   std::list<std::unique_ptr<Connection>> finished;
   {
@@ -170,19 +214,65 @@ void ObsServer::ReapConnections(bool all) {
 
 void ObsServer::HandleConnection(Connection* conn) {
   int fd = conn->fd;
+  service_->metrics().IncOpenConnections();
   FdLineReader reader(fd);
   std::string line;
   if (reader.ReadLine(&line)) {
     if (LooksLikeHttp(line)) {
-      // Collect the rest of the request head (headers until blank line).
-      std::string head = line;
-      head += '\n';
-      std::string header;
-      while (reader.ReadLine(&header) && !header.empty()) {
-        head += header;
+      // Hostile-input caps on the request head; a client exceeding them
+      // is answered 431, a client stalling mid-head 408. Both rejections
+      // are counted so a flood of them is visible in /metrics.
+      constexpr size_t kMaxRequestLineBytes = 8192;
+      constexpr size_t kMaxHeadBytes = 32768;
+      constexpr int kMaxHeaderLines = 100;
+      if (line.size() > kMaxRequestLineBytes) {
+        service_->metrics().RecordHttpRejected(431);
+        SendAll(fd, RenderHttpResponse(431, "text/plain; charset=utf-8",
+                                       "request line too long\n"));
+      } else {
+        if (options_.http_header_timeout_ms > 0) {
+          timeval tv{};
+          tv.tv_sec = options_.http_header_timeout_ms / 1000;
+          tv.tv_usec =
+              static_cast<long>(options_.http_header_timeout_ms % 1000) *
+              1000;
+          ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        }
+        // Collect the rest of the request head (headers until blank line).
+        std::string head = line;
         head += '\n';
+        std::string header;
+        bool complete = false;
+        bool oversized = false;
+        int header_lines = 0;
+        while (reader.ReadLine(&header)) {
+          if (header.empty()) {
+            complete = true;
+            break;
+          }
+          head += header;
+          head += '\n';
+          if (++header_lines > kMaxHeaderLines ||
+              head.size() > kMaxHeadBytes) {
+            oversized = true;
+            break;
+          }
+        }
+        if (oversized) {
+          service_->metrics().RecordHttpRejected(431);
+          SendAll(fd, RenderHttpResponse(431, "text/plain; charset=utf-8",
+                                         "request head too large\n"));
+        } else if (!complete && reader.timed_out()) {
+          service_->metrics().RecordHttpRejected(408);
+          SendAll(fd, RenderHttpResponse(
+                          408, "text/plain; charset=utf-8",
+                          "timed out reading request head\n"));
+        } else {
+          // EOF before the blank line still serves what arrived (legacy
+          // behaviour); a malformed head is answered 400 by ServeHttp.
+          ServeHttp(fd, head);
+        }
       }
-      ServeHttp(fd, head);
     } else {
       // A long-lived protocol session: this connection's own DEFINE
       // namespace and worker arena, against the shared service.
@@ -202,6 +292,7 @@ void ObsServer::HandleConnection(Connection* conn) {
     }
   }
   ::close(fd);
+  service_->metrics().DecOpenConnections();
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -228,16 +319,29 @@ void ObsServer::ServeHttp(int fd, const std::string& head) {
     SendAll(fd, RenderHttpResponse(
                     200, "text/plain; version=0.0.4; charset=utf-8", body,
                     head_only));
-  } else if (path == "/healthz") {
-    SendAll(fd, RenderHttpResponse(200, "text/plain; charset=utf-8", "ok\n",
+  } else if (path == "/statusz") {
+    // Same MetricsSnapshot (and renderer) as the STATUSZ protocol verb,
+    // so the two surfaces cannot drift.
+    std::string body = RenderStatuszJson(
+        service_->metrics().Snapshot(service_->cache().Stats(),
+                                     service_->planner().cache().Stats()));
+    SendAll(fd, RenderHttpResponse(200, "application/json", body,
                                    head_only));
+  } else if (path == "/healthz") {
+    if (service_->metrics().draining()) {
+      SendAll(fd, RenderHttpResponse(503, "text/plain; charset=utf-8",
+                                     "draining\n", head_only));
+    } else {
+      SendAll(fd, RenderHttpResponse(200, "text/plain; charset=utf-8",
+                                     "ok\n", head_only));
+    }
   } else if (path == "/buildz") {
     SendAll(fd, RenderHttpResponse(200, "application/json", BuildzJson(),
                                    head_only));
   } else {
     SendAll(fd, RenderHttpResponse(404, "text/plain; charset=utf-8",
-                                   "not found — try /metrics, /healthz, "
-                                   "/buildz\n",
+                                   "not found — try /metrics, /statusz, "
+                                   "/healthz, /buildz\n",
                                    head_only));
   }
 }

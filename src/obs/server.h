@@ -25,6 +25,13 @@ struct ServerOptions {
   /// Optional shared access log (not owned); every session's decisions
   /// are recorded through it.
   AccessLog* access_log = nullptr;
+  /// How long RequestDrain keeps the listener open (answering /healthz
+  /// with 503 "draining") before closing it, so a router can deregister
+  /// the node first. 0 closes immediately.
+  int drain_grace_ms = 0;
+  /// Receive timeout while reading an HTTP request head; a client that
+  /// stalls mid-request is answered 408 and dropped. <= 0 disables.
+  int http_header_timeout_ms = 5000;
 };
 
 /// The networked front end of the containment service: one TCP listener
@@ -37,7 +44,10 @@ struct ServerOptions {
 ///     many clients run concurrently against the shared service.
 ///   * An HTTP request line serves one observability request and closes:
 ///     GET /metrics (Prometheus text exposition, rendered from the same
-///     MetricsSnapshot as the METRICS verb), GET /healthz, GET /buildz.
+///     MetricsSnapshot as the METRICS verb), GET /statusz (JSON, same
+///     snapshot as the STATUSZ verb), GET /healthz (503 while draining),
+///     GET /buildz. Oversized request heads are answered 431 and slow
+///     clients 408 — both counted in the metrics.
 ///
 /// Lifecycle: Start() binds and listens; Serve() blocks accepting
 /// connections until Shutdown() (async-signal-safe: callable from a
@@ -62,6 +72,12 @@ class ObsServer {
   /// shutdown(2) on the listening socket).
   void Shutdown();
 
+  /// Begins a graceful drain: /healthz flips to 503 "draining" immediately
+  /// (so load balancers stop routing here), and after drain_grace_ms the
+  /// watchdog thread calls Shutdown(). Async-signal-safe (two atomic
+  /// stores); callable from a SIGTERM handler. Idempotent.
+  void RequestDrain();
+
  private:
   struct Connection {
     int fd = -1;
@@ -74,12 +90,18 @@ class ObsServer {
   std::string BuildzJson() const;
   /// Joins finished connection threads; `all` waits for the rest too.
   void ReapConnections(bool all);
+  /// Body of the drain watchdog thread: waits for RequestDrain, sleeps
+  /// out the grace period, then calls Shutdown().
+  void DrainWatchdog();
 
   ContainmentService* service_;
   ServerOptions options_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread drain_watchdog_;
   std::mutex conn_mu_;
   std::list<std::unique_ptr<Connection>> connections_;
 };

@@ -1,0 +1,76 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relcont {
+namespace obs {
+
+uint64_t WindowAggregate::PercentileMicros(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  rank = std::max<uint64_t>(1, std::min(rank, total));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      if (i == kBuckets - 1) return max_micros;
+      // The rank sample s satisfies s <= 2^i - 1 and s <= max_micros, so
+      // the min is still an upper bound — and p100 reports the exact max.
+      return std::min<uint64_t>((1ull << i) - 1, max_micros);
+    }
+  }
+  return max_micros;
+}
+
+WindowRing::WindowRing() = default;
+
+void WindowRing::Record(uint64_t now_sec, uint64_t latency_micros) {
+  Slot& slot = slots_[now_sec % kSlots];
+  for (;;) {
+    uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch == now_sec) break;  // Slot already belongs to this second.
+    if (epoch == kResettingEpoch) continue;  // Another writer is reclaiming.
+    if (epoch != kEmptyEpoch && epoch > now_sec) return;  // We are too late.
+    // Stale (or empty) slot: try to claim it for this second.
+    if (slot.epoch.compare_exchange_weak(epoch, kResettingEpoch,
+                                         std::memory_order_acq_rel)) {
+      for (auto& b : slot.buckets) b.store(0, std::memory_order_relaxed);
+      slot.sum.store(0, std::memory_order_relaxed);
+      slot.max.store(0, std::memory_order_relaxed);
+      slot.epoch.store(now_sec, std::memory_order_release);
+      break;
+    }
+  }
+  slot.buckets[BucketFor(latency_micros)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  slot.sum.fetch_add(latency_micros, std::memory_order_relaxed);
+  uint64_t seen = slot.max.load(std::memory_order_relaxed);
+  while (seen < latency_micros &&
+         !slot.max.compare_exchange_weak(seen, latency_micros,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+WindowAggregate WindowRing::Aggregate(uint64_t now_sec,
+                                      int window_secs) const {
+  window_secs = std::max(1, std::min(window_secs, kMaxWindowSecs));
+  WindowAggregate out;
+  for (int k = 0; k < window_secs; ++k) {
+    if (now_sec < static_cast<uint64_t>(k)) break;
+    const uint64_t sec = now_sec - static_cast<uint64_t>(k);
+    const Slot& slot = slots_[sec % kSlots];
+    if (slot.epoch.load(std::memory_order_acquire) != sec) continue;
+    for (int i = 0; i < kBuckets; ++i) {
+      out.buckets[i] += slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.sum_micros += slot.sum.load(std::memory_order_relaxed);
+    const uint64_t m = slot.max.load(std::memory_order_relaxed);
+    if (m > out.max_micros) out.max_micros = m;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace relcont

@@ -1,0 +1,116 @@
+#ifndef RELCONT_OBS_WINDOW_H_
+#define RELCONT_OBS_WINDOW_H_
+
+/// Sliding-window latency telemetry: a ring of per-second slots, each a
+/// power-of-two latency histogram, so the service can answer "what is p99
+/// *right now*" instead of since-process-start. Writers are lock-free
+/// (atomic adds into the current second's slot); readers aggregate the
+/// trailing N seconds into a WindowAggregate and take percentiles from the
+/// bucket boundaries.
+///
+/// Time is supplied by the caller as a plain seconds counter, which makes
+/// the whole structure deterministic under a fake clock (tests/window_test).
+///
+/// Percentile semantics: buckets mirror service::LatencyHistogram — bucket 0
+/// holds [0,1) microseconds and bucket i holds [2^(i-1), 2^i) — and the
+/// reported quantile is the inclusive upper bound (2^i - 1) of the bucket
+/// containing the rank-ceil(q*count) sample, clamped by the observed
+/// maximum. The estimate is therefore never below the true quantile and
+/// less than 2x above it; the top (unbounded) bucket reports the exact
+/// observed max.
+
+#include <atomic>
+#include <cstdint>
+
+namespace relcont {
+namespace obs {
+
+/// A merged, immutable view over one or more window rings: plain counters,
+/// cheap to copy, percentile math lives here.
+struct WindowAggregate {
+  static constexpr int kBuckets = 24;
+
+  uint64_t buckets[kBuckets] = {};
+  uint64_t sum_micros = 0;
+  uint64_t max_micros = 0;
+
+  /// Total samples in the aggregate (sum of the buckets — kept derived so
+  /// count and percentile ranks can never disagree).
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) total += buckets[i];
+    return total;
+  }
+
+  /// Adds `other` into this aggregate (used to fold per-regime rings into
+  /// a per-verb "all" row).
+  void Merge(const WindowAggregate& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+    sum_micros += other.sum_micros;
+    if (other.max_micros > max_micros) max_micros = other.max_micros;
+  }
+
+  /// Upper-bound estimate of the q-quantile in microseconds (0 < q <= 1).
+  /// Returns 0 when the aggregate is empty. Guaranteed >= the true
+  /// quantile of the recorded samples and < 2x + 1 above it.
+  uint64_t PercentileMicros(double q) const;
+};
+
+/// Lock-free ring of per-second histogram slots. Each slot is tagged with
+/// the absolute second it describes; recording into a new second reclaims
+/// the slot via a CAS-guarded reset, so stale data from kSlots seconds ago
+/// can never leak into a fresh window. Readers only trust a slot whose
+/// epoch tag matches the second they are summing.
+class WindowRing {
+ public:
+  static constexpr int kSlots = 128;
+  static constexpr int kBuckets = WindowAggregate::kBuckets;
+  /// Largest trustworthy trailing window: one slot is always the current
+  /// (partial) second and one guards against wrap-around reclaim races.
+  static constexpr int kMaxWindowSecs = kSlots - 2;
+
+  WindowRing();
+  WindowRing(const WindowRing&) = delete;
+  WindowRing& operator=(const WindowRing&) = delete;
+
+  /// Records one sample against the second `now_sec`. Thread-safe and
+  /// lock-free; a sample racing against a slot already claimed by a newer
+  /// second is dropped (it is at least kSlots seconds late).
+  void Record(uint64_t now_sec, uint64_t latency_micros);
+
+  /// Sums the trailing `window_secs` seconds ending at (and including)
+  /// `now_sec`. window_secs is clamped to [1, kMaxWindowSecs].
+  WindowAggregate Aggregate(uint64_t now_sec, int window_secs) const;
+
+  /// The histogram bucket for a latency (same law as
+  /// service::LatencyHistogram): bucket 0 is [0,1)us, bucket i is
+  /// [2^(i-1), 2^i)us, the last bucket is unbounded.
+  static int BucketFor(uint64_t micros) {
+    int bucket = 0;
+    while (bucket < kBuckets - 1 && micros >= (1ull << bucket)) ++bucket;
+    return bucket;
+  }
+
+ private:
+  // Epoch sentinels: kEmptyEpoch marks a never-used slot, kResettingEpoch
+  // marks a slot mid-reclaim (writers spin, readers skip).
+  static constexpr uint64_t kEmptyEpoch = ~0ull;
+  static constexpr uint64_t kResettingEpoch = ~0ull - 1;
+
+  struct Slot {
+    std::atomic<uint64_t> epoch{kEmptyEpoch};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+    std::atomic<uint64_t> buckets[kBuckets];
+    Slot() {
+      for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  Slot slots_[kSlots];
+};
+
+}  // namespace obs
+}  // namespace relcont
+
+#endif  // RELCONT_OBS_WINDOW_H_

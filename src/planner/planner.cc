@@ -184,8 +184,17 @@ PlanResponse Planner::Plan(const PlanRequest& request, PlannerContext* ctx) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  metrics_->RecordPlanRequest(/*rewrite=*/false, out.latency_micros,
-                              !out.status.ok());
+  if (out.status.code() == StatusCode::kBoundReached) {
+    // Aggregation-level attribution: the whole PLAN? request ended in a
+    // bound (whatever inner site minted it), so the planner shows up in
+    // bound_hits{site=...} alongside the low-level sites.
+    NoteBoundSite("planner_plan");
+  }
+  metrics_->RecordPlanRequest(
+      /*rewrite=*/false,
+      out.status.ok() ? (out.recursive ? Regime::kSection4 : Regime::kSection3)
+                      : Regime::kUnknown,
+      out.latency_micros, !out.status.ok());
   metrics_->RecordBudget(budget.tasks_spawned(), budget.tasks_completed(),
                          budget.reason() == BudgetReason::kDeadline);
   if (trace_ctx != nullptr) {
@@ -226,6 +235,9 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
     RELCONT_ASSIGN_OR_RETURN(const MaterializedCatalog* catalog,
                              CatalogFor(request.catalog, ctx));
     out.catalog_version = catalog->version;
+    // Set before the cache lookup so cache hits attribute their window
+    // sample to the regime the cached answer came from.
+    used_patterns = !catalog->patterns.empty();
     RELCONT_ASSIGN_OR_RETURN(
         GoalQuery q1, ParseGoalQuery(request.q1_text, ctx->interner()));
     RELCONT_ASSIGN_OR_RETURN(
@@ -249,7 +261,6 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
     }
     BudgetScope budget_scope(&budget);
     RELCONT_TRACE_SPAN("planner_rewrite");
-    used_patterns = !catalog->patterns.empty();
     if (used_patterns) {
       // Theorem 4.1: P1^exp ⊑ Q2 over the executable dom plan.
       RELCONT_ASSIGN_OR_RETURN(
@@ -293,8 +304,15 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
-  metrics_->RecordPlanRequest(/*rewrite=*/true, out.latency_micros,
-                              !out.status.ok());
+  if (out.status.code() == StatusCode::kBoundReached) {
+    NoteBoundSite("planner_rewrite");
+  }
+  metrics_->RecordPlanRequest(
+      /*rewrite=*/true,
+      out.status.ok()
+          ? (used_patterns ? Regime::kSection4 : Regime::kSection3)
+          : Regime::kUnknown,
+      out.latency_micros, !out.status.ok());
   metrics_->RecordBudget(budget.tasks_spawned(), budget.tasks_completed(),
                          budget.reason() == BudgetReason::kDeadline);
   if (trace_ctx != nullptr) {

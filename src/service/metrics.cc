@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/budget.h"
 #include "constraints/dense_order.h"
 #include "relcont/version.h"
 
 namespace relcont {
+
+std::string_view ServiceVerbName(ServiceVerb verb) {
+  switch (verb) {
+    case ServiceVerb::kContained:
+      return "contained";
+    case ServiceVerb::kPlan:
+      return "plan";
+    case ServiceVerb::kRewrite:
+      return "rewrite";
+  }
+  return "unknown";
+}
 
 void LatencyHistogram::Record(uint64_t micros) {
   int bucket = 0;
@@ -30,6 +43,42 @@ std::pair<uint64_t, uint64_t> LatencyHistogram::BucketBounds(int bucket) {
   return {lower, upper};
 }
 
+ServiceMetrics::ServiceMetrics()
+    : windows_(new obs::WindowRing[kNumVerbs * kNumRegimes]) {
+  window_clock_ = [start = start_steady_]() -> uint64_t {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  };
+}
+
+void ServiceMetrics::set_window_secs(int secs) {
+  secs = std::max(1, std::min(secs, obs::WindowRing::kMaxWindowSecs));
+  window_secs_.store(secs, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::RecordWindow(ServiceVerb verb, Regime regime,
+                                  uint64_t micros) {
+  Ring(static_cast<int>(verb), static_cast<int>(regime))
+      .Record(window_clock_(), micros);
+}
+
+obs::WindowAggregate ServiceMetrics::WindowFor(ServiceVerb verb,
+                                               int window_secs,
+                                               int regime) const {
+  const uint64_t now_sec = window_clock_();
+  obs::WindowAggregate out;
+  const int v = static_cast<int>(verb);
+  if (regime >= 0 && regime < kNumRegimes) {
+    return Ring(v, regime).Aggregate(now_sec, window_secs);
+  }
+  for (int r = 0; r < kNumRegimes; ++r) {
+    out.Merge(Ring(v, r).Aggregate(now_sec, window_secs));
+  }
+  return out;
+}
+
 void ServiceMetrics::RecordRequest(Regime regime, uint64_t latency_micros,
                                    bool error, bool cache_hit) {
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -38,6 +87,17 @@ void ServiceMetrics::RecordRequest(Regime regime, uint64_t latency_micros,
   by_regime_[static_cast<int>(regime)].fetch_add(1,
                                                  std::memory_order_relaxed);
   latency_.Record(latency_micros);
+  RecordWindow(ServiceVerb::kContained, regime, latency_micros);
+}
+
+void ServiceMetrics::RecordPlanRequest(bool rewrite, Regime regime,
+                                       uint64_t latency_micros, bool error) {
+  (rewrite ? rewrite_requests_ : plan_requests_)
+      .fetch_add(1, std::memory_order_relaxed);
+  if (error) plan_errors_.fetch_add(1, std::memory_order_relaxed);
+  latency_.Record(latency_micros);
+  RecordWindow(rewrite ? ServiceVerb::kRewrite : ServiceVerb::kPlan, regime,
+               latency_micros);
 }
 
 void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
@@ -64,6 +124,23 @@ void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
   entry.regime = regime;
   entry.description = std::move(description);
   entry.trace_text = trace.ToText();
+  // Digest for /statusz: the root span and its direct children aggregated
+  // by name, largest cumulative time first (ties break by name).
+  std::map<std::string, PhaseStat> tops;
+  for (const trace::SpanNode& s : trace.spans()) {
+    if (s.depth > 1) continue;
+    PhaseStat& stat = tops[s.name];
+    stat.ns += s.duration_ns();
+    stat.calls += 1;
+  }
+  for (const auto& [name, stat] : tops) {
+    entry.top_phases.push_back({name, stat.ns, stat.calls});
+  }
+  std::sort(entry.top_phases.begin(), entry.top_phases.end(),
+            [](const obs::PhaseSnapshot& a, const obs::PhaseSnapshot& b) {
+              if (a.ns != b.ns) return a.ns > b.ns;
+              return a.name < b.name;
+            });
   slow_log_.push_back(std::move(entry));
   // Stable: requests with equal latency keep their arrival order, so ties
   // at the cutoff are broken deterministically (earliest recorded wins).
@@ -120,6 +197,15 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   s.plan_errors = plan_errors();
   s.unknown_verbs = unknown_verbs();
   s.plan_cache = plan_cache;
+  s.inflight_requests = inflight_requests();
+  s.open_connections = open_connections();
+  s.batch_queue_depth = batch_queue_depth();
+  s.draining = draining();
+  s.http_rejected_431 = http_rejected_431_.load(std::memory_order_relaxed);
+  s.http_rejected_408 = http_rejected_408_.load(std::memory_order_relaxed);
+  for (const auto& [site, count] : BoundSiteCounts()) {
+    s.bound_sites.push_back({site, count});
+  }
   const constraints::DenseOrderStats& dense =
       constraints::GlobalDenseOrderStats();
   s.dense_order_propagations =
@@ -154,6 +240,46 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   s.latency_sum_micros = latency_.SumMicros();
   s.latency_count = latency_.TotalCount();
 
+  // Windowed percentiles: per verb and trailing window, one always-present
+  // "all" row (every regime folded together) plus one row per regime with
+  // traffic in that window.
+  s.short_window_secs = kShortWindowSecs;
+  s.long_window_secs = window_secs();
+  const uint64_t now_sec = window_clock_();
+  std::vector<int> window_lengths = {kShortWindowSecs};
+  if (s.long_window_secs != kShortWindowSecs) {
+    window_lengths.push_back(s.long_window_secs);
+  }
+  for (int v = 0; v < kNumVerbs; ++v) {
+    const std::string verb(ServiceVerbName(static_cast<ServiceVerb>(v)));
+    for (int wsecs : window_lengths) {
+      obs::WindowAggregate per_regime[kNumRegimes];
+      obs::WindowAggregate all;
+      for (int r = 0; r < kNumRegimes; ++r) {
+        per_regime[r] = Ring(v, r).Aggregate(now_sec, wsecs);
+        all.Merge(per_regime[r]);
+      }
+      auto row = [&](const std::string& regime,
+                     const obs::WindowAggregate& agg) {
+        obs::WindowLatency w;
+        w.verb = verb;
+        w.regime = regime;
+        w.window_secs = wsecs;
+        w.count = agg.count();
+        w.p50_micros = agg.PercentileMicros(0.50);
+        w.p90_micros = agg.PercentileMicros(0.90);
+        w.p99_micros = agg.PercentileMicros(0.99);
+        w.max_micros = agg.max_micros;
+        s.window_latency.push_back(std::move(w));
+      };
+      row("all", all);
+      for (int r = 0; r < kNumRegimes; ++r) {
+        if (per_regime[r].count() == 0) continue;
+        row(std::string(RegimeName(static_cast<Regime>(r))), per_regime[r]);
+      }
+    }
+  }
+
   for (int r = 0; r < kNumRegimes; ++r) {
     for (int c = 0; c < kNumTraceCounters; ++c) {
       uint64_t v = counter_totals_[r][c].load(std::memory_order_relaxed);
@@ -172,7 +298,8 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   for (const SlowRequest& slow : slow_log_) {
     s.slow_log.push_back({slow.latency_micros,
                           std::string(RegimeName(slow.regime)),
-                          slow.description, slow.trace_text});
+                          slow.description, slow.trace_text,
+                          slow.top_phases});
   }
   return s;
 }

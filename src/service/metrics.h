@@ -5,13 +5,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "obs/exposition.h"
+#include "obs/window.h"
 #include "planner/plan_cache.h"
 #include "relcont/decide.h"
 #include "service/decision_cache.h"
@@ -55,7 +59,17 @@ struct SlowRequest {
   std::string description;
   /// The EXPLAIN-style span tree of the request.
   std::string trace_text;
+  /// The dominant phases of this request (root span + direct children,
+  /// aggregated by name, largest total first) — the compact digest
+  /// /statusz shows without the full tree.
+  std::vector<obs::PhaseSnapshot> top_phases;
 };
+
+/// The protocol verbs the windowed latency rings break down by.
+enum class ServiceVerb : int { kContained = 0, kPlan, kRewrite };
+
+/// Stable lowercase name: "contained" | "plan" | "rewrite".
+std::string_view ServiceVerbName(ServiceVerb verb);
 
 /// Request-level counters for the containment service: totals, errors,
 /// cache hits observed at the request level, per-regime decision counts,
@@ -70,29 +84,92 @@ struct SlowRequest {
 class ServiceMetrics {
  public:
   static constexpr int kNumRegimes = 6;  // Regime enumerators incl. kUnknown
+  static constexpr int kNumVerbs = 3;    // ServiceVerb enumerators
   static constexpr int kNumTraceCounters =
       static_cast<int>(trace::Counter::kNumCounters);
+  /// The fixed short trailing window; the long window is configurable
+  /// (set_window_secs, default 60, capped by the ring size).
+  static constexpr int kShortWindowSecs = 10;
+
+  ServiceMetrics();
 
   /// Records one finished request. `regime` is kUnknown for errors.
   void RecordRequest(Regime regime, uint64_t latency_micros, bool error,
                      bool cache_hit);
 
   /// Records one finished planner request (PLAN? when `rewrite` is false,
-  /// REWRITE? when true). Planner latencies fold into the shared latency
+  /// REWRITE? when true) attributed to the regime of the plan it produced
+  /// (kUnknown for errors). Planner latencies fold into the shared latency
   /// histogram; the per-verb totals stay separate from requests_ so the
   /// containment counters keep their meaning.
-  void RecordPlanRequest(bool rewrite, uint64_t latency_micros, bool error) {
-    (rewrite ? rewrite_requests_ : plan_requests_)
-        .fetch_add(1, std::memory_order_relaxed);
-    if (error) plan_errors_.fetch_add(1, std::memory_order_relaxed);
-    latency_.Record(latency_micros);
-  }
+  void RecordPlanRequest(bool rewrite, Regime regime, uint64_t latency_micros,
+                         bool error);
 
   /// Records one rejected protocol line whose verb no handler claims
   /// (satisfies the `relcont_unknown_verb_total` series).
   void RecordUnknownVerb() {
     unknown_verbs_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Records one HTTP request rejected by the parser hardening: 431
+  /// (oversized request line/headers) or 408 (slow client cut off).
+  void RecordHttpRejected(int status_code) {
+    if (status_code == 431) {
+      http_rejected_431_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status_code == 408) {
+      http_rejected_408_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Live gauges. Inflight tracks requests inside Service::Decide; open
+  /// connections tracks sockets held by the obs server; batch queue depth
+  /// tracks ExecuteBatch items not yet claimed by a worker.
+  void IncInflight() { inflight_.fetch_add(1, std::memory_order_relaxed); }
+  void DecInflight() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  void IncOpenConnections() {
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void DecOpenConnections() {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  void AddBatchQueueDepth(int64_t delta) {
+    batch_queue_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t inflight_requests() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  int64_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  int64_t batch_queue_depth() const {
+    return batch_queue_.load(std::memory_order_relaxed);
+  }
+
+  /// Drain state: set on SIGTERM drain start, cleared never (the process
+  /// exits). /healthz answers 503 and /statusz reports it while set.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Sets the long trailing window in seconds (clamped to
+  /// [1, obs::WindowRing::kMaxWindowSecs]). Call before serving traffic.
+  void set_window_secs(int secs);
+  int window_secs() const {
+    return window_secs_.load(std::memory_order_relaxed);
+  }
+
+  /// Replaces the window clock (a seconds counter) for deterministic
+  /// tests. Must be installed before any request is recorded; the default
+  /// clock counts steady-clock seconds since construction.
+  void set_window_clock_for_test(std::function<uint64_t()> clock) {
+    window_clock_ = std::move(clock);
+  }
+
+  /// Aggregates the trailing `window_secs` seconds for one verb. `regime`
+  /// of kNumRegimes (the default) folds every regime together.
+  obs::WindowAggregate WindowFor(ServiceVerb verb, int window_secs,
+                                 int regime = kNumRegimes) const;
 
   /// Records one request's budget outcome: how many parallel helper tasks
   /// its decision spawned/completed (equal after every request — the pool-
@@ -185,6 +262,16 @@ class ServiceMetrics {
     uint64_t calls = 0;
   };
 
+  /// Records one sample into the (verb, regime) window ring at the current
+  /// window-clock second.
+  void RecordWindow(ServiceVerb verb, Regime regime, uint64_t micros);
+  const obs::WindowRing& Ring(int verb, int regime) const {
+    return windows_[verb * kNumRegimes + regime];
+  }
+  obs::WindowRing& Ring(int verb, int regime) {
+    return windows_[verb * kNumRegimes + regime];
+  }
+
   /// Fixed at construction; Snapshot derives uptime and start time.
   const std::chrono::steady_clock::time_point start_steady_ =
       std::chrono::steady_clock::now();
@@ -203,8 +290,22 @@ class ServiceMetrics {
   std::atomic<uint64_t> unknown_verbs_{0};
   std::atomic<uint64_t> tasks_spawned_{0};
   std::atomic<uint64_t> tasks_completed_{0};
+  std::atomic<uint64_t> http_rejected_431_{0};
+  std::atomic<uint64_t> http_rejected_408_{0};
+  std::atomic<int64_t> inflight_{0};
+  std::atomic<int64_t> open_connections_{0};
+  std::atomic<int64_t> batch_queue_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> window_secs_{60};
   std::array<std::atomic<uint64_t>, kNumRegimes> by_regime_{};
   LatencyHistogram latency_;
+
+  /// kNumVerbs x kNumRegimes window rings (heap-allocated: each ring is
+  /// ~27 KB of atomics). Indexed by Ring(verb, regime).
+  std::unique_ptr<obs::WindowRing[]> windows_;
+  /// The window clock, in whole seconds. Read concurrently, written only
+  /// by set_window_clock_for_test before traffic starts.
+  std::function<uint64_t()> window_clock_;
 
   std::array<std::array<std::atomic<uint64_t>, kNumTraceCounters>,
              kNumRegimes>

@@ -108,6 +108,13 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
     return service_->metrics().Dump(service_->cache().Stats(),
                                     service_->planner().cache().Stats());
   }
+  if (command == "STATUSZ") {
+    // The same MetricsSnapshot METRICS and /metrics render, as one JSON
+    // object — so the protocol verb and GET /statusz cannot drift.
+    return obs::RenderStatuszJson(
+        service_->metrics().Snapshot(service_->cache().Stats(),
+                                     service_->planner().cache().Stats()));
+  }
   if (command == "HELP") {
     return "CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> "
            "<adornment>]...\n"
@@ -120,7 +127,7 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
            "[workers=N]\n"
            "EXPLAIN [JSON] [PLAN?|REWRITE?] <args as above>\n"
            "BATCH BEGIN ... BATCH END\n"
-           "CATALOGS | METRICS | HELP\n"
+           "CATALOGS | METRICS | STATUSZ | HELP\n"
            "  timeout_ms: per-request deadline; budget: max decision "
            "steps; workers: parallel scan width.\n"
            "  A request past its bound answers ERR BoundReached (not a "

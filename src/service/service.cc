@@ -109,6 +109,7 @@ ContainmentService::ContainmentService(ServiceConfig config)
       cache_(config.cache_capacity, config.cache_shards),
       planner_(&catalogs_, &metrics_, PlannerConfigFrom(config)) {
   metrics_.set_slow_log_capacity(config.slow_log_capacity);
+  metrics_.set_window_secs(config.window_secs);
   // Re-registering a catalog bumps its version, which already rotates plan
   // cache keys; the listener additionally reclaims the dead entries so a
   // churning catalog cannot crowd out live plans.
@@ -152,6 +153,7 @@ Result<std::string> ContainmentService::CacheKey(
 DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
                                             WorkerContext* ctx) {
   auto start = std::chrono::steady_clock::now();
+  metrics_.IncInflight();
   DecisionResponse out;
   // The service owns the one budget governing this request; the library
   // sees it via the installed BudgetScope and skips its own (decide.cc).
@@ -224,6 +226,7 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  metrics_.DecInflight();
   metrics_.RecordRequest(out.regime, out.latency_micros, !out.status.ok(),
                          out.cache_hit);
   metrics_.RecordBudget(budget.tasks_spawned(), budget.tasks_completed(),
@@ -239,9 +242,13 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
 std::vector<DecisionResponse> ContainmentService::ExecuteBatch(
     const std::vector<DecisionRequest>& requests, int num_threads) {
   std::vector<DecisionResponse> out(requests.size());
+  // Every batch item counts as queued until a worker claims it, so the
+  // batch_queue_depth gauge exposes backlog while a batch is in flight.
+  metrics_.AddBatchQueueDepth(static_cast<int64_t>(requests.size()));
   if (num_threads <= 1 || requests.size() <= 1) {
     WorkerContext ctx;
     for (size_t i = 0; i < requests.size(); ++i) {
+      metrics_.AddBatchQueueDepth(-1);
       out[i] = Decide(requests[i], &ctx);
     }
     return out;
@@ -252,6 +259,7 @@ std::vector<DecisionResponse> ContainmentService::ExecuteBatch(
     for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
          i < requests.size();
          i = next.fetch_add(1, std::memory_order_relaxed)) {
+      metrics_.AddBatchQueueDepth(-1);
       out[i] = Decide(requests[i], &ctx);
     }
   };

@@ -55,6 +55,10 @@ struct ServiceConfig {
   /// working set).
   size_t plan_cache_capacity = 4096;
   size_t plan_cache_shards = 8;
+  /// Long trailing window for the sliding-window latency percentiles, in
+  /// seconds (the short window is fixed at 10 s). Clamped to the window
+  /// ring size (obs::WindowRing::kMaxWindowSecs).
+  int window_secs = 60;
 };
 
 /// One containment question. The query texts use the ParseProgram syntax

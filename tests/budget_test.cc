@@ -7,14 +7,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
+#include <string_view>
 #include <thread>
 
 #include <gtest/gtest.h>
 
 #include "common/budget.h"
 #include "common/parallel.h"
+#include "constraints/order_constraints.h"
 #include "datalog/parser.h"
 #include "eval/evaluator.h"
+#include "planner/planner.h"
 #include "relcont/decide.h"
 #include "relcont/pi2p_reduction.h"
 
@@ -325,6 +329,104 @@ TEST(UnifiedBoundTest, VerdictsAreBudgetIndependent) {
       inst->q2, inst->q1, inst->views, {}, &interner, generous);
   ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
   EXPECT_EQ(bounded->contained, unbounded->contained);
+}
+
+// ---------------------------------------------------------------------------
+// Bound-site attribution: every minted kBoundReached status also bumps its
+// site's counter in the process-global registry (BoundSiteCounts), so the
+// telemetry can say *where* budgets die. The registry is cumulative across
+// the process, so every assertion below is a delta.
+// ---------------------------------------------------------------------------
+
+uint64_t SiteCount(std::string_view site) {
+  for (const auto& [name, count] : BoundSiteCounts()) {
+    if (name == site) return count;
+  }
+  return 0;
+}
+
+TEST(BoundSiteAttributionTest, LinearizationDfsTripIsAttributed) {
+  const uint64_t before = SiteCount("linearization_dfs");
+  Interner interner;
+  OrderConstraints oc;
+  ASSERT_TRUE(oc.AddPoint(Term::Var(interner.Intern("A"))).ok());
+  ASSERT_TRUE(oc.AddPoint(Term::Var(interner.Intern("B"))).ok());
+  ASSERT_TRUE(oc.AddPoint(Term::Var(interner.Intern("C"))).ok());
+  WorkBudget budget;
+  budget.set_max_steps(1);
+  budget.Charge();
+  budget.Charge();  // exhausted: the DFS dies at its first node
+  BudgetScope scope(&budget);
+  Status status =
+      oc.ForEachLinearization([](const Linearization&) { return true; });
+  ASSERT_EQ(status.code(), StatusCode::kBoundReached);
+  EXPECT_NE(status.ToString().find("[linearization_dfs]"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(SiteCount("linearization_dfs"), before + 1);
+}
+
+TEST(BoundSiteAttributionTest, DisjunctScanTripIsAttributed) {
+  // A budget that dies *during* the parallel disjunct scan — after plan
+  // construction, before the scan completes — mints [containment_check].
+  // The right step cap depends on plan sizes, so sweep upward until the
+  // trip lands in the scan window.
+  const uint64_t before = SiteCount("containment_check");
+  Interner interner;
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/3,
+                           /*num_clauses=*/3, /*seed=*/7);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+  ASSERT_TRUE(inst.ok());
+  bool tripped = false;
+  for (int64_t steps = 1; steps <= 5000 && !tripped; ++steps) {
+    DecideOptions options;
+    options.max_steps = steps;
+    options.parallel_workers = 2;
+    Result<Decision> d = DecideRelativeContainment(
+        inst->q2, inst->q1, inst->views, {}, &interner, options);
+    if (d.ok()) break;  // enough budget: no later cap can trip mid-scan
+    if (d.status().ToString().find("[containment_check]") !=
+        std::string::npos) {
+      tripped = true;
+    }
+  }
+  ASSERT_TRUE(tripped) << "no step cap tripped inside the disjunct scan";
+  EXPECT_GT(SiteCount("containment_check"), before);
+}
+
+TEST(BoundSiteAttributionTest, PlannerTripIsAttributed) {
+  const uint64_t before = SiteCount("planner_plan");
+  Interner gen;
+  QbfFormula f = RandomQbf(/*num_exists=*/2, /*num_forall=*/3,
+                           /*num_clauses=*/3, /*seed=*/7);
+  Result<Pi2pInstance> inst = BuildPi2pReduction(f, &gen);
+  ASSERT_TRUE(inst.ok());
+  std::string views_text;
+  for (const ViewDefinition& v : inst->views.views()) {
+    views_text += v.rule.ToString(gen);
+    views_text += '\n';
+  }
+  std::string query_text;
+  for (const Rule& r : inst->q2.program.rules) {
+    query_text += r.ToString(gen);
+    query_text += '\n';
+  }
+
+  CatalogRegistry catalogs;
+  ServiceMetrics metrics;
+  ASSERT_TRUE(catalogs.Register("qbf", views_text).ok());
+  Planner planner(&catalogs, &metrics);
+  PlannerContext ctx;
+  PlanRequest request;
+  request.query_text = query_text;
+  request.catalog = "qbf";
+  request.options.max_steps = 1;
+  PlanResponse response = planner.Plan(request, &ctx);
+  ASSERT_EQ(response.status.code(), StatusCode::kBoundReached)
+      << response.status.ToString();
+  // The planner attributes the whole bound request to its own aggregate
+  // site on top of whatever inner site minted the status.
+  EXPECT_EQ(SiteCount("planner_plan"), before + 1);
 }
 
 TEST(UnifiedBoundTest, ParallelWorkersPreserveTheVerdict) {

@@ -142,11 +142,23 @@ class ObsServerTest : public testing::Test {
     options.port = 0;  // ephemeral: tests never collide on a fixed port
     options.batch_threads = 2;
     options.access_log = access_log;
+    StartServerWith(options);
+  }
+
+  void StartServerWith(obs::ServerOptions options) {
+    options.port = 0;
     server_ = std::make_unique<obs::ObsServer>(&service_, options);
     Status status = server_->Start();
     ASSERT_TRUE(status.ok()) << status.ToString();
     ASSERT_GT(server_->port(), 0);
     serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  /// Stops the running server so a test can restart it with custom
+  /// options via StartServerWith.
+  void StopServer() {
+    server_->Shutdown();
+    if (serve_thread_.joinable()) serve_thread_.join();
   }
 
   void TearDown() override {
@@ -240,6 +252,90 @@ TEST_F(ObsServerTest, UnknownPathIs404AndBadMethodIs405) {
             "HTTP/1.1 405 Method Not Allowed");
 }
 
+/// Satellite: between RequestDrain (SIGTERM) and listener close, /healthz
+/// answers 503 "draining" so a load balancer can deregister the node, and
+/// the flag is visible in the shared snapshot.
+TEST_F(ObsServerTest, HealthzReportsDrainingDuringGrace) {
+  StopServer();
+  obs::ServerOptions options;
+  options.batch_threads = 2;
+  options.drain_grace_ms = 60000;  // TearDown's Shutdown preempts this
+  StartServerWith(options);
+
+  EXPECT_EQ(Get(port(), "/healthz").status_line, "HTTP/1.1 200 OK");
+  server_->RequestDrain();
+  HttpReply reply = Get(port(), "/healthz");
+  EXPECT_EQ(reply.status_line, "HTTP/1.1 503 Service Unavailable");
+  EXPECT_EQ(reply.body, "draining\n");
+  EXPECT_NE(Get(port(), "/metrics").body.find("relcont_draining 1"),
+            std::string::npos);
+  EXPECT_NE(Get(port(), "/statusz").body.find("\"draining\":true"),
+            std::string::npos);
+}
+
+/// After the grace period the watchdog closes the listener: Serve returns
+/// and new connections are refused.
+TEST_F(ObsServerTest, DrainClosesListenerAfterGrace) {
+  StopServer();
+  obs::ServerOptions options;
+  options.batch_threads = 2;
+  options.drain_grace_ms = 50;
+  StartServerWith(options);
+  int drained_port = port();
+  server_->RequestDrain();
+  serve_thread_.join();  // Serve unblocks once the watchdog shuts down
+  Client late(drained_port);
+  EXPECT_TRUE(!late.connected() || late.ReadAll().empty());
+}
+
+/// Satellite: parser hardening. An oversized request line or header block
+/// is answered 431 and counted; a client that stalls mid-head is cut off
+/// with 408 after --http-header-timeout and counted.
+TEST_F(ObsServerTest, OversizedRequestHeadIs431AndCounted) {
+  Client line_client(port());
+  ASSERT_TRUE(line_client.connected());
+  line_client.Send("GET /" + std::string(9000, 'a') + " HTTP/1.1\r\n\r\n");
+  std::string raw = line_client.ReadAll();
+  EXPECT_EQ(raw.substr(0, 12), "HTTP/1.1 431") << raw.substr(0, 64);
+
+  Client header_client(port());
+  ASSERT_TRUE(header_client.connected());
+  std::string request = "GET /healthz HTTP/1.1\r\n";
+  for (int i = 0; i < 16; ++i) {
+    request += "X-Pad-" + std::to_string(i) + ": " +
+               std::string(4000, 'b') + "\r\n";
+  }
+  request += "\r\n";
+  header_client.Send(request);
+  raw = header_client.ReadAll();
+  EXPECT_EQ(raw.substr(0, 12), "HTTP/1.1 431") << raw.substr(0, 64);
+
+  EXPECT_EQ(service_.metrics().Snapshot(service_.cache().Stats())
+                .http_rejected_431,
+            2u);
+  EXPECT_NE(
+      Get(port(), "/metrics")
+          .body.find("relcont_http_rejected_total{code=\"431\"} 2"),
+      std::string::npos);
+}
+
+TEST_F(ObsServerTest, SlowClientMidHeadIs408AndCounted) {
+  StopServer();
+  obs::ServerOptions options;
+  options.batch_threads = 2;
+  options.http_header_timeout_ms = 150;
+  StartServerWith(options);
+
+  Client client(port());
+  ASSERT_TRUE(client.connected());
+  client.Send("GET /healthz HTTP/1.1\r\nHost: test\r\n");  // no blank line
+  std::string raw = client.ReadAll();  // server must cut us off
+  EXPECT_EQ(raw.substr(0, 12), "HTTP/1.1 408") << raw.substr(0, 64);
+  EXPECT_EQ(service_.metrics().Snapshot(service_.cache().Stats())
+                .http_rejected_408,
+            1u);
+}
+
 TEST_F(ObsServerTest, MalformedHttpIs400) {
   Client client(port());
   ASSERT_TRUE(client.connected());
@@ -303,6 +399,23 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
       {"\nplan_cache_invalidated ",
        "\nrelcont_plan_cache_invalidated_total "},
       {"\nplan_cache_entries ", "\nrelcont_plan_cache_entries "},
+      {"\ninflight_requests ", "\nrelcont_inflight_requests "},
+      {"\nbatch_queue_depth ", "\nrelcont_batch_queue_depth "},
+      {"\ndraining ", "\nrelcont_draining "},
+      {"\nhttp_rejected_431_total ",
+       "relcont_http_rejected_total{code=\"431\"} "},
+      {"\nhttp_rejected_408_total ",
+       "relcont_http_rejected_total{code=\"408\"} "},
+      // The windowed series agree too: the 60s window is wide enough that
+      // both scrapes still cover the traffic generated above.
+      {"window_latency_requests{verb=\"contained\",regime=\"all\","
+       "window=\"60s\"} ",
+       "relcont_window_latency_requests{verb=\"contained\",regime=\"all\","
+       "window=\"60s\"} "},
+      {"window_latency_us{verb=\"contained\",regime=\"all\","
+       "window=\"60s\",q=\"p99\"} ",
+       "relcont_window_latency_microseconds{verb=\"contained\","
+       "regime=\"all\",window=\"60s\",quantile=\"p99\"} "},
   };
   for (const auto& [text_key, prom_key] : kPairs) {
     EXPECT_EQ(extract(text, text_key), extract(reply.body, prom_key))
@@ -311,9 +424,77 @@ TEST_F(ObsServerTest, MetricsEndpointMatchesMetricsVerb) {
   }
   // Sanity: the traffic we generated is visible, not just zero == zero.
   EXPECT_EQ(extract(text, "\nrequests_total "), "2");
+  EXPECT_EQ(extract(text,
+                    "window_latency_requests{verb=\"contained\","
+                    "regime=\"all\",window=\"60s\"} "),
+            "2");
   EXPECT_NE(extract(reply.body, "\nrelcont_cache_hits_total "), "0");
   EXPECT_NE(reply.body.find("relcont_build_info{version=\""),
             std::string::npos);
+}
+
+/// The same no-drift property for the third surface: the STATUSZ protocol
+/// verb and GET /statusz render the same MetricsSnapshot as JSON, so over
+/// a live socket their stable fields must agree.
+TEST_F(ObsServerTest, StatuszEndpointMatchesStatuszVerb) {
+  EXPECT_EQ(RunDecision().substr(0, 3), "YES");
+  EXPECT_EQ(RunDecision().substr(0, 3), "YES");
+
+  Client verb(port());
+  ASSERT_TRUE(verb.connected());
+  verb.Send("STATUSZ\n");
+  verb.FinishSending();
+  std::string verb_json = verb.ReadAll();
+
+  HttpReply reply = Get(port(), "/statusz");
+  EXPECT_EQ(reply.status_line, "HTTP/1.1 200 OK");
+  EXPECT_EQ(reply.headers["Content-Type"], "application/json");
+
+  Result<json::Value> from_verb = json::Parse(verb_json);
+  ASSERT_TRUE(from_verb.ok()) << verb_json;
+  Result<json::Value> from_http = json::Parse(reply.body);
+  ASSERT_TRUE(from_http.ok()) << reply.body;
+
+  // Uptime differs between the two snapshots; every cumulative field must
+  // not. Compare the request totals, cache counters, and the windowed
+  // latency rows (the 60s window spans both scrape instants).
+  auto requests = [](const json::Value& v, const char* key) {
+    return v.Find("requests")->Find(key)->number_value;
+  };
+  for (const char* key : {"total", "errors", "cache_hits", "plan_requests",
+                          "unknown_verbs"}) {
+    EXPECT_DOUBLE_EQ(requests(*from_verb, key), requests(*from_http, key))
+        << key;
+  }
+  EXPECT_DOUBLE_EQ(requests(*from_verb, "total"), 2);
+  EXPECT_DOUBLE_EQ(from_verb->Find("cache")->Find("hits")->number_value,
+                   from_http->Find("cache")->Find("hits")->number_value);
+  EXPECT_DOUBLE_EQ(from_verb->Find("cache")->Find("hit_rate")->number_value,
+                   from_http->Find("cache")->Find("hit_rate")->number_value);
+
+  auto window_row = [](const json::Value& v, const std::string& verb_name,
+                       const std::string& regime, int window_secs)
+      -> const json::Value* {
+    for (const json::Value& row :
+         v.Find("windows")->Find("latency")->array) {
+      if (row.Find("verb")->string_value == verb_name &&
+          row.Find("regime")->string_value == regime &&
+          row.Find("window_secs")->number_value == window_secs) {
+        return &row;
+      }
+    }
+    return nullptr;
+  };
+  const json::Value* verb_row = window_row(*from_verb, "contained", "all", 60);
+  const json::Value* http_row = window_row(*from_http, "contained", "all", 60);
+  ASSERT_NE(verb_row, nullptr) << verb_json;
+  ASSERT_NE(http_row, nullptr) << reply.body;
+  EXPECT_DOUBLE_EQ(verb_row->Find("count")->number_value, 2);
+  for (const char* key : {"count", "p50_us", "p90_us", "p99_us", "max_us"}) {
+    EXPECT_DOUBLE_EQ(verb_row->Find(key)->number_value,
+                     http_row->Find(key)->number_value)
+        << key;
+  }
 }
 
 /// Acceptance criterion for the plan service: PLAN? and REWRITE? round-trip

@@ -12,6 +12,12 @@
 // fail too — a benchmark that silently stops reporting is not a pass.
 // New metrics (current-only) are listed but never fail the gate.
 //
+// Distribution metrics may carry p50/p95/p99 order statistics; when both
+// files record a p99 it is gated with the same direction and threshold
+// (tail regressions hide inside a healthy median). Files without
+// percentiles — everything written before the fields existed — compare
+// exactly as before.
+//
 // Exit codes: 0 = no regression, 1 = regression (or missing metric),
 // 2 = unreadable/malformed input.
 
@@ -34,6 +40,11 @@ struct MetricRow {
   double value = 0;
   std::string unit;
   bool higher_is_better = true;
+  /// Optional tail statistic (bench/harness.h emits p50/p95/p99 for
+  /// distribution metrics). Gated only when both files carry it, so
+  /// pre-percentile baselines keep comparing cleanly.
+  bool has_p99 = false;
+  double p99 = 0;
 };
 
 struct BenchFile {
@@ -98,6 +109,11 @@ bool LoadBenchFile(const char* path, BenchFile* out) {
     if (const json::Value* dir = entry.Find("higher_is_better");
         dir != nullptr && dir->is_bool()) {
       row.higher_is_better = dir->bool_value;
+    }
+    if (const json::Value* p99 = entry.Find("p99");
+        p99 != nullptr && p99->is_number()) {
+      row.has_p99 = true;
+      row.p99 = p99->number_value;
     }
     out->metrics[name->string_value] = std::move(row);
   }
@@ -170,6 +186,17 @@ int Main(int argc, char** argv) {
                 base.value, cur.value, ratio,
                 regressed ? "REGRESSED" : "ok");
     if (regressed) ++regressions;
+    // Tail gate: same direction and threshold applied to p99, but only
+    // when both files recorded it (older files carry no percentiles).
+    if (base.has_p99 && cur.has_p99 && base.p99 > 0) {
+      bool p99_regressed = base.higher_is_better
+                               ? cur.p99 * allowed_factor < base.p99
+                               : cur.p99 > base.p99 * allowed_factor;
+      std::printf("  %-32s %14.6g %14.6g %8.3fx  %s\n",
+                  (name + " (p99)").c_str(), base.p99, cur.p99,
+                  cur.p99 / base.p99, p99_regressed ? "REGRESSED" : "ok");
+      if (p99_regressed) ++regressions;
+    }
   }
   for (const auto& [name, cur] : current.metrics) {
     if (baseline.metrics.find(name) == baseline.metrics.end()) {
