@@ -53,6 +53,8 @@ std::vector<std::string> ChainQueries(int count, int num_relations,
 struct Measurement {
   size_t requests = 0;
   double seconds = 0;
+  /// Per-request wall latency in microseconds, for the tail metrics.
+  bench::Samples latency_us;
   double plans_per_sec() const {
     return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
   }
@@ -73,7 +75,11 @@ Measurement Run(Planner* planner, PlannerContext* ctx,
       request.query_text = query;
       request.catalog = catalog;
       request.bypass_cache = bypass_cache;
+      auto request_start = std::chrono::steady_clock::now();
       PlanResponse response = planner->Plan(request, ctx);
+      m.latency_us.Add(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - request_start)
+                           .count());
       if (!response.status.ok()) {
         std::fprintf(stderr, "plan failed (%s): %s\n", label,
                      response.status.ToString().c_str());
@@ -160,6 +166,16 @@ int Main() {
   metrics.push_back({"warm_ucq_plans_per_sec", warm_free.plans_per_sec(),
                      "plans/s", true});
   metrics.push_back({"speedup_warm_vs_cold", speedup, "x", true});
+  // Per-request latency distributions: the throughput rows above hide the
+  // tail, and bench_compare gates p99 drift once the baseline carries it.
+  metrics.push_back(bench::DistributionMetric(
+      "cold_recursive_plan_latency_us", cold_bound.latency_us, "us", false));
+  metrics.push_back(bench::DistributionMetric(
+      "cold_ucq_plan_latency_us", cold_free.latency_us, "us", false));
+  metrics.push_back(bench::DistributionMetric(
+      "warm_recursive_plan_latency_us", warm_bound.latency_us, "us", false));
+  metrics.push_back(bench::DistributionMetric(
+      "warm_ucq_plan_latency_us", warm_free.latency_us, "us", false));
   if (!bench::WriteBenchJson("BENCH_plan_service.json", "plan_service",
                              metrics)) {
     return 1;

@@ -39,6 +39,13 @@
 //                      METRICS / STATUSZ / /statusz (default 60, max 126)
 //   --drain-grace-ms N how long SIGTERM keeps /healthz at 503 before the
 //                      listener closes (default 0 = immediate)
+//   --flight-ring N    flight-recorder wide-event ring slots, rounded up
+//                      to a power of two (default 1024)
+//   --flight-arena-kb N  retention-arena byte cap for tail-sampled span
+//                      trees, in KB (default 512)
+//   --crash-dump FILE  write the crash black box (ring wide events + the
+//                      last statusz snapshot) to FILE on SIGSEGV/SIGABRT
+//                      (default: stderr; the handler is always installed)
 
 #include <cerrno>
 #include <csignal>
@@ -50,6 +57,7 @@
 #include <string>
 
 #include "obs/access_log.h"
+#include "obs/flight.h"
 #include "obs/server.h"
 #include "obs/window.h"
 #include "service/protocol.h"
@@ -78,7 +86,9 @@ int Usage() {
                "[--log-sample R]\n"
                "                     [--default-timeout-ms N] [--workers N] "
                "[--window-secs N]\n"
-               "                     [--drain-grace-ms N]\n");
+               "                     [--drain-grace-ms N] [--flight-ring N] "
+               "[--flight-arena-kb N]\n"
+               "                     [--crash-dump FILE]\n");
   return 2;
 }
 
@@ -109,6 +119,7 @@ int main(int argc, char** argv) {
   long long port = -1;  // -1 = stdio mode
   long long drain_grace_ms = 0;
   std::string access_log_path;
+  std::string crash_dump_path;
   long long log_sample = 1;
   relcont::ServiceConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -164,12 +175,32 @@ int main(int argc, char** argv) {
         return Usage();
       }
       ++i;
+    } else if (std::strcmp(arg, "--flight-ring") == 0) {
+      long long ring = 0;
+      if (!ParseIntFlag(arg, value, 1, 1LL << 24, &ring)) return Usage();
+      config.flight_ring_capacity = static_cast<size_t>(ring);
+      ++i;
+    } else if (std::strcmp(arg, "--flight-arena-kb") == 0) {
+      long long arena_kb = 0;
+      if (!ParseIntFlag(arg, value, 1, 1LL << 22, &arena_kb)) return Usage();
+      config.flight_arena_kb = static_cast<size_t>(arena_kb);
+      ++i;
+    } else if (std::strcmp(arg, "--crash-dump") == 0) {
+      if (value == nullptr || *value == '\0') return Usage();
+      crash_dump_path = value;
+      ++i;
     } else {
       return Usage();
     }
   }
 
   relcont::ContainmentService service(config);
+  // The crash black box covers both transports: on SIGSEGV/SIGABRT the
+  // handler dumps the flight ring and the last statusz snapshot before
+  // the default disposition re-terminates the process.
+  relcont::obs::InstallCrashHandler(
+      &service.metrics().flight(),
+      crash_dump_path.empty() ? nullptr : crash_dump_path.c_str());
 
   std::unique_ptr<relcont::obs::AccessLog> access_log;
   if (!access_log_path.empty()) {
@@ -202,8 +233,8 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, HandleSignal);
     std::fprintf(stderr,
                  "relcont_serve: listening on port %d "
-                 "(protocol over TCP; GET /metrics /statusz /healthz "
-                 "/buildz)\n",
+                 "(protocol over TCP; GET /metrics /statusz /requestz "
+                 "/healthz /buildz)\n",
                  server.port());
     server.Serve();
     g_server = nullptr;

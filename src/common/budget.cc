@@ -141,6 +141,16 @@ std::vector<std::pair<std::string, uint64_t>> BoundSiteCounts() {
       registry.counts.begin(), registry.counts.end());
 }
 
+std::string_view BoundSiteFromStatus(const Status& status) {
+  if (status.code() != StatusCode::kBoundReached) return {};
+  std::string_view message = status.message();
+  const size_t open = message.find('[');
+  if (open == std::string_view::npos) return {};
+  const size_t close = message.find(']', open + 1);
+  if (close == std::string_view::npos) return {};
+  return message.substr(open + 1, close - open - 1);
+}
+
 Status BoundReachedAt(std::string_view site, std::string_view detail) {
   RELCONT_TRACE_COUNT(kBoundHits, 1);
   NoteBoundSite(site);

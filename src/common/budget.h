@@ -209,6 +209,12 @@ void NoteBoundSite(std::string_view site);
 /// they have tripped at least once.
 std::vector<std::pair<std::string, uint64_t>> BoundSiteCounts();
 
+/// Extracts the `[<site>]` tag from a BoundReachedAt-minted status message
+/// ("bound reached [<site>]: ..."). Empty view when the status is not
+/// kBoundReached or carries no site tag — callers (access log, flight
+/// recorder wide events) treat empty as "no site".
+std::string_view BoundSiteFromStatus(const Status& status);
+
 }  // namespace relcont
 
 #endif  // RELCONT_COMMON_BUDGET_H_

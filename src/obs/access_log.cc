@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/json.h"
 
 namespace relcont {
@@ -62,6 +63,8 @@ std::string AccessLog::RenderEvent(uint64_t id, int64_t unix_micros,
   bool first = true;
   AppendField(&out, "id", &first);
   out += std::to_string(id);
+  AppendField(&out, "request_id", &first);
+  out += std::to_string(response.request_id);
   AppendField(&out, "ts_unix_micros", &first);
   out += std::to_string(unix_micros);
   AppendField(&out, "catalog", &first);
@@ -84,6 +87,8 @@ std::string AccessLog::RenderEvent(uint64_t id, int64_t unix_micros,
   json::AppendEscaped(
       response.status.ok() ? std::string() : response.status.ToString(),
       &out);
+  AppendField(&out, "bound_site", &first);
+  json::AppendEscaped(BoundSiteFromStatus(response.status), &out);
   if (response.trace != nullptr && !response.trace->spans().empty()) {
     // Top-level breakdown only: the root span plus its direct children
     // (aggregated by name) — the full tree belongs to EXPLAIN, not to a

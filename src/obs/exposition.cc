@@ -101,6 +101,11 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
     AppendLine(&out, "bound_hits_total{site=\"%s\"} %llu\n",
                site.site.c_str(), ULL(site.count));
   }
+  AppendLine(&out,
+             "flight_retained_total %llu\nflight_dropped_total %llu\n"
+             "flight_arena_bytes %llu\n",
+             ULL(s.flight_retained), ULL(s.flight_dropped),
+             ULL(s.flight_arena_bytes));
   for (const WindowLatency& w : s.window_latency) {
     AppendLine(&out,
                "window_latency_requests{verb=\"%s\",regime=\"%s\","
@@ -165,8 +170,11 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
   }
   for (size_t i = 0; i < s.slow_log.size(); ++i) {
     const SlowEntry& slow = s.slow_log[i];
-    AppendLine(&out, "slow_request{rank=%llu,latency_us=%llu,regime=\"%s\"} ",
-               ULL(i), ULL(slow.latency_micros), slow.regime.c_str());
+    AppendLine(&out,
+               "slow_request{rank=%llu,latency_us=%llu,regime=\"%s\","
+               "id=%llu} ",
+               ULL(i), ULL(slow.latency_micros), slow.regime.c_str(),
+               ULL(slow.request_id));
     out += slow.description;
     out += '\n';
     // The span tree, indented so a scraper can skip continuation lines.
@@ -361,6 +369,21 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
                  LabelEscaped(site.site).c_str(), ULL(site.count));
     }
   }
+  AppendLine(&out,
+             "# HELP relcont_flight_retained_total Requests retained in the "
+             "flight-recorder arena (tail-sampled or head-sampled).\n"
+             "# TYPE relcont_flight_retained_total counter\n"
+             "relcont_flight_retained_total %llu\n"
+             "# HELP relcont_flight_dropped_total Flight-recorder drops: "
+             "arena evictions plus oversized entries.\n"
+             "# TYPE relcont_flight_dropped_total counter\n"
+             "relcont_flight_dropped_total %llu\n"
+             "# HELP relcont_flight_arena_bytes Bytes currently resident in "
+             "the flight-recorder retention arena.\n"
+             "# TYPE relcont_flight_arena_bytes gauge\n"
+             "relcont_flight_arena_bytes %llu\n",
+             ULL(s.flight_retained), ULL(s.flight_dropped),
+             ULL(s.flight_arena_bytes));
   if (!s.window_latency.empty()) {
     out +=
         "# HELP relcont_window_latency_requests Requests recorded in the "
@@ -523,6 +546,11 @@ std::string RenderStatuszJson(const MetricsSnapshot& s) {
   AppendLine(&out,
              ",\"http\":{\"rejected_431\":%llu,\"rejected_408\":%llu}",
              ULL(s.http_rejected_431), ULL(s.http_rejected_408));
+  AppendLine(&out,
+             ",\"flight\":{\"retained_total\":%llu,\"dropped_total\":%llu,"
+             "\"arena_bytes\":%llu}",
+             ULL(s.flight_retained), ULL(s.flight_dropped),
+             ULL(s.flight_arena_bytes));
   out += ",\"bound_sites\":[";
   for (size_t i = 0; i < s.bound_sites.size(); ++i) {
     if (i > 0) out += ',';
@@ -537,6 +565,7 @@ std::string RenderStatuszJson(const MetricsSnapshot& s) {
     AppendLine(&out, "{\"latency_us\":%llu,\"regime\":",
                ULL(slow.latency_micros));
     json::AppendEscaped(slow.regime, &out);
+    AppendLine(&out, ",\"request_id\":%llu", ULL(slow.request_id));
     out += ",\"description\":";
     json::AppendEscaped(slow.description, &out);
     out += ",\"phases\":[";
@@ -551,6 +580,64 @@ std::string RenderStatuszJson(const MetricsSnapshot& s) {
     out += "]}";
   }
   out += "]}\n";
+  return out;
+}
+
+namespace {
+
+/// Renders one wide event through the shared AS-safe renderer, so the
+/// /requestz surface and the crash dump emit byte-identical objects.
+void AppendWideEvent(const WideEvent& event, std::string* out) {
+  char buf[2048];
+  out->append(buf, RenderWideEventJson(event, buf, sizeof buf));
+}
+
+}  // namespace
+
+std::string RenderRequestzListJson(const FlightRecorder& recorder) {
+  std::string out;
+  AppendLine(&out,
+             "{\"flight\":{\"ring_capacity\":%llu,\"recorded_total\":%llu,"
+             "\"retained_total\":%llu,\"dropped_total\":%llu,"
+             "\"arena_bytes\":%llu,\"arena_max_bytes\":%llu",
+             ULL(recorder.ring_capacity()), ULL(recorder.recorded_total()),
+             ULL(recorder.retained_total()), ULL(recorder.dropped_total()),
+             ULL(recorder.arena_bytes()), ULL(recorder.arena_max_bytes()));
+  out += ",\"retained_ids\":[";
+  const std::vector<uint64_t> ids = recorder.RetainedIds();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendLine(&out, "%llu", ULL(ids[i]));
+  }
+  out += "]},\"events\":[";
+  const std::vector<WideEvent> events = recorder.RecentEvents();
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendWideEvent(events[i], &out);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderRequestzEventJson(const FlightRecorder::Retained& entry) {
+  std::string out = "{\"event\":";
+  AppendWideEvent(entry.event, &out);
+  out += ",\"trace_text\":";
+  json::AppendEscaped(entry.trace_text, &out);
+  out += ",\"chrome_trace\":";
+  if (entry.chrome_json.empty()) {
+    out += "null";
+  } else {
+    // The exporter's JSON document, embedded raw (trailing newline
+    // stripped so the embedding stays a single line).
+    std::string_view chrome = entry.chrome_json;
+    while (!chrome.empty() &&
+           (chrome.back() == '\n' || chrome.back() == ' ')) {
+      chrome.remove_suffix(1);
+    }
+    out.append(chrome);
+  }
+  out += "}\n";
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.h"
 #include "planner/plan_cache.h"
 #include "service/decision_cache.h"
 
@@ -49,6 +50,9 @@ struct HistogramBucket {
 struct SlowEntry {
   uint64_t latency_micros = 0;
   std::string regime;
+  /// Flight-recorder request id (0 when unknown) — the /requestz?id=N
+  /// pivot for this entry.
+  uint64_t request_id = 0;
   std::string description;
   std::string trace_text;
   /// The request's dominant phases (root span + its direct children,
@@ -149,6 +153,13 @@ struct MetricsSnapshot {
 
   /// Cumulative bound trips per budget site, lexicographic by site.
   std::vector<BoundSiteCount> bound_sites;
+
+  /// Flight-recorder totals (src/obs/flight.h): arena entries retained,
+  /// events/entries dropped (ring slot races + arena evictions +
+  /// oversized entries), and current arena residency in bytes (a gauge).
+  uint64_t flight_retained = 0;
+  uint64_t flight_dropped = 0;
+  uint64_t flight_arena_bytes = 0;
 };
 
 /// The METRICS verb rendering: the line-oriented text dump served over the
@@ -170,6 +181,19 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
 /// breakdown. Same MetricsSnapshot as the other two renderers, so the
 /// three surfaces cannot drift.
 std::string RenderStatuszJson(const MetricsSnapshot& snapshot);
+
+/// The /requestz (and REQUESTZ verb) list rendering: one JSON object
+/// (newline-terminated) with the recorder's counters, the retained ids
+/// (newest first), and the recent ring wide events (newest first, rendered
+/// by RenderWideEventJson so the crash dump cannot drift from this
+/// surface).
+std::string RenderRequestzListJson(const FlightRecorder& recorder);
+
+/// The /requestz?id=N (and REQUESTZ <id>) drill-down rendering: the
+/// retained wide event plus its full span renderings — `trace_text` as a
+/// JSON string, `chrome_trace` as the embedded Chrome trace object (null
+/// when the request was not traced).
+std::string RenderRequestzEventJson(const FlightRecorder::Retained& entry);
 
 }  // namespace obs
 }  // namespace relcont

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/json.h"
@@ -122,6 +123,9 @@ Status ObsServer::Start() {
       0) {
     port_ = ntohs(addr.sin_port);
   }
+  // Seed the crash handler's statusz snapshot before traffic; the
+  // watchdog refreshes it from here on.
+  RefreshFlightStatusz();
   // RequestDrain is async-signal-safe, so it cannot spawn this thread
   // itself — it only flips an atomic the watchdog polls.
   if (!drain_watchdog_.joinable()) {
@@ -169,10 +173,23 @@ void ObsServer::RequestDrain() {
   service_->metrics().set_draining(true);
 }
 
+void ObsServer::RefreshFlightStatusz() {
+  service_->metrics().flight().StoreStatuszSnapshot(RenderStatuszJson(
+      service_->metrics().Snapshot(service_->cache().Stats(),
+                                   service_->planner().cache().Stats())));
+}
+
 void ObsServer::DrainWatchdog() {
   const auto tick = std::chrono::milliseconds(10);
+  int ticks = 0;
   while (!watchdog_stop_.load(std::memory_order_acquire) &&
          !stopping_.load(std::memory_order_acquire)) {
+    // Keep the crash black box's pre-rendered /statusz copy about a second
+    // fresh (the signal handler cannot render one itself).
+    if (++ticks >= 100) {
+      ticks = 0;
+      RefreshFlightStatusz();
+    }
     if (draining_.load(std::memory_order_acquire)) {
       // Grace period: /healthz already answers 503, so a router has this
       // long to deregister the node before the listener closes.
@@ -327,6 +344,43 @@ void ObsServer::ServeHttp(int fd, const std::string& head) {
                                      service_->planner().cache().Stats()));
     SendAll(fd, RenderHttpResponse(200, "application/json", body,
                                    head_only));
+  } else if (path == "/requestz") {
+    // Same renderers as the REQUESTZ protocol verb; the lockstep test in
+    // obs_server_test asserts byte equality between the two surfaces.
+    // path() strips the query string, so parse ?id=N off the raw target.
+    uint64_t id = 0;
+    bool bad_query = false;
+    const size_t query = request.target.find('?');
+    if (query != std::string::npos) {
+      const std::string args = request.target.substr(query + 1);
+      if (args.rfind("id=", 0) == 0) {
+        char* end = nullptr;
+        id = std::strtoull(args.c_str() + 3, &end, 10);
+        bad_query = end == nullptr || *end != '\0' || id == 0;
+      } else {
+        bad_query = true;
+      }
+    }
+    if (bad_query) {
+      SendAll(fd, RenderHttpResponse(400, "text/plain; charset=utf-8",
+                                     "expected /requestz or /requestz?id=N\n",
+                                     head_only));
+    } else if (id == 0) {
+      SendAll(fd, RenderHttpResponse(
+                      200, "application/json",
+                      RenderRequestzListJson(service_->metrics().flight()),
+                      head_only));
+    } else if (std::optional<FlightRecorder::Retained> entry =
+                   service_->metrics().flight().FindRetained(id)) {
+      SendAll(fd, RenderHttpResponse(200, "application/json",
+                                     RenderRequestzEventJson(*entry),
+                                     head_only));
+    } else {
+      SendAll(fd, RenderHttpResponse(404, "text/plain; charset=utf-8",
+                                     "request id " + std::to_string(id) +
+                                         " not retained\n",
+                                     head_only));
+    }
   } else if (path == "/healthz") {
     if (service_->metrics().draining()) {
       SendAll(fd, RenderHttpResponse(503, "text/plain; charset=utf-8",
@@ -341,7 +395,7 @@ void ObsServer::ServeHttp(int fd, const std::string& head) {
   } else {
     SendAll(fd, RenderHttpResponse(404, "text/plain; charset=utf-8",
                                    "not found — try /metrics, /statusz, "
-                                   "/healthz, /buildz\n",
+                                   "/requestz, /healthz, /buildz\n",
                                    head_only));
   }
 }

@@ -91,8 +91,11 @@ class ObsServer {
   /// Joins finished connection threads; `all` waits for the rest too.
   void ReapConnections(bool all);
   /// Body of the drain watchdog thread: waits for RequestDrain, sleeps
-  /// out the grace period, then calls Shutdown().
+  /// out the grace period, then calls Shutdown(). Also refreshes the
+  /// flight recorder's pre-rendered statusz snapshot about once a second.
   void DrainWatchdog();
+  /// Re-renders /statusz into the flight recorder's crash-dump buffer.
+  void RefreshFlightStatusz();
 
   ContainmentService* service_;
   ServerOptions options_;

@@ -98,6 +98,7 @@ Result<const MaterializedCatalog*> Planner::CatalogFor(
 PlanResponse Planner::Plan(const PlanRequest& request, PlannerContext* ctx) {
   auto start = std::chrono::steady_clock::now();
   PlanResponse out;
+  out.request_id = metrics_->flight().NextRequestId();
   WorkBudget budget;
   int64_t timeout_ms = request.options.timeout_ms > 0
                            ? request.options.timeout_ms
@@ -112,6 +113,7 @@ PlanResponse Planner::Plan(const PlanRequest& request, PlannerContext* ctx) {
   std::optional<trace::TraceScope> trace_scope;
   if (request.collect_trace || config_.trace_requests) {
     trace_ctx = std::make_shared<trace::TraceContext>();
+    trace_ctx->set_request_id(out.request_id);
     trace_scope.emplace(trace_ctx.get());
   }
   out.status = [&]() -> Status {
@@ -201,9 +203,25 @@ PlanResponse Planner::Plan(const PlanRequest& request, PlannerContext* ctx) {
     metrics_->RecordTrace(
         out.recursive ? Regime::kSection4 : Regime::kSection3,
         out.latency_micros, *trace_ctx,
-        DescribePlanRequest("PLAN?", request.query_text, request.catalog));
-    out.trace = std::move(trace_ctx);
+        DescribePlanRequest("PLAN?", request.query_text, request.catalog),
+        out.request_id);
   }
+  obs::WideEvent event;
+  event.request_id = out.request_id;
+  event.latency_micros = out.latency_micros;
+  event.catalog_version = out.catalog_version;
+  event.error = out.status.ok() ? 0 : 1;
+  event.cache_hit = out.cache_hit ? 1 : 0;
+  event.bound = out.status.code() == StatusCode::kBoundReached ? 1 : 0;
+  event.set_verb("plan");
+  event.set_regime(RegimeName(
+      out.status.ok()
+          ? (out.recursive ? Regime::kSection4 : Regime::kSection3)
+          : Regime::kUnknown));
+  event.set_catalog(request.catalog);
+  event.set_bound_site(BoundSiteFromStatus(out.status));
+  metrics_->RecordFlight(ServiceVerb::kPlan, event, trace_ctx.get());
+  if (trace_ctx != nullptr) out.trace = std::move(trace_ctx);
   return out;
 }
 
@@ -211,6 +229,7 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
                                  PlannerContext* ctx) {
   auto start = std::chrono::steady_clock::now();
   RewriteResponse out;
+  out.request_id = metrics_->flight().NextRequestId();
   WorkBudget budget;
   int64_t timeout_ms = request.options.timeout_ms > 0
                            ? request.options.timeout_ms
@@ -225,6 +244,7 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
   std::optional<trace::TraceScope> trace_scope;
   if (request.collect_trace || config_.trace_requests) {
     trace_ctx = std::make_shared<trace::TraceContext>();
+    trace_ctx->set_request_id(out.request_id);
     trace_scope.emplace(trace_ctx.get());
   }
   bool used_patterns = false;
@@ -321,9 +341,25 @@ RewriteResponse Planner::Rewrite(const RewriteRequest& request,
         out.latency_micros, *trace_ctx,
         DescribePlanRequest("REWRITE?",
                             request.q1_text + " => " + request.q2_text,
-                            request.catalog));
-    out.trace = std::move(trace_ctx);
+                            request.catalog),
+        out.request_id);
   }
+  obs::WideEvent event;
+  event.request_id = out.request_id;
+  event.latency_micros = out.latency_micros;
+  event.catalog_version = out.catalog_version;
+  event.error = out.status.ok() ? 0 : 1;
+  event.cache_hit = out.cache_hit ? 1 : 0;
+  event.bound = out.status.code() == StatusCode::kBoundReached ? 1 : 0;
+  event.set_verb("rewrite");
+  event.set_regime(RegimeName(
+      out.status.ok()
+          ? (used_patterns ? Regime::kSection4 : Regime::kSection3)
+          : Regime::kUnknown));
+  event.set_catalog(request.catalog);
+  event.set_bound_site(BoundSiteFromStatus(out.status));
+  metrics_->RecordFlight(ServiceVerb::kRewrite, event, trace_ctx.get());
+  if (trace_ctx != nullptr) out.trace = std::move(trace_ctx);
   return out;
 }
 

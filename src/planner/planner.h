@@ -74,6 +74,9 @@ struct PlanResponse {
   bool recursive = false;
   bool cache_hit = false;
   uint64_t latency_micros = 0;
+  /// The flight-recorder request id minted for this request (echoed on
+  /// the protocol line and the /requestz?id=N pivot).
+  uint64_t request_id = 0;
   int64_t catalog_version = 0;
   /// Present iff tracing was requested for this request.
   std::shared_ptr<const trace::TraceContext> trace;
@@ -97,6 +100,8 @@ struct RewriteResponse {
   std::string witness_text;
   bool cache_hit = false;
   uint64_t latency_micros = 0;
+  /// The flight-recorder request id minted for this request.
+  uint64_t request_id = 0;
   int64_t catalog_version = 0;
   std::shared_ptr<const trace::TraceContext> trace;
 };

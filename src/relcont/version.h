@@ -5,9 +5,9 @@ namespace relcont {
 
 /// Library version, bumped per release.
 inline constexpr int kVersionMajor = 1;
-inline constexpr int kVersionMinor = 3;
+inline constexpr int kVersionMinor = 4;
 inline constexpr int kVersionPatch = 0;
-inline constexpr const char* kVersionString = "1.3.0";
+inline constexpr const char* kVersionString = "1.4.0";
 
 }  // namespace relcont
 

@@ -102,7 +102,8 @@ void ServiceMetrics::RecordPlanRequest(bool rewrite, Regime regime,
 
 void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
                                  const trace::TraceContext& trace,
-                                 std::string description) {
+                                 std::string description,
+                                 uint64_t request_id) {
   auto& totals = counter_totals_[static_cast<int>(regime)];
   for (int c = 0; c < kNumTraceCounters; ++c) {
     uint64_t v = trace.TotalCount(static_cast<trace::Counter>(c));
@@ -122,6 +123,7 @@ void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
   SlowRequest entry;
   entry.latency_micros = latency_micros;
   entry.regime = regime;
+  entry.request_id = request_id;
   entry.description = std::move(description);
   entry.trace_text = trace.ToText();
   // Digest for /statusz: the root span and its direct children aggregated
@@ -151,6 +153,68 @@ void ServiceMetrics::RecordTrace(Regime regime, uint64_t latency_micros,
   if (slow_log_.size() > slow_log_capacity_) {
     slow_log_.resize(slow_log_capacity_);
   }
+}
+
+void ServiceMetrics::RecordFlight(ServiceVerb verb, obs::WideEvent event,
+                                  const trace::TraceContext* trace) {
+  event.ts_unix_micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  if (trace != nullptr) {
+    event.traced = 1;
+    // Same digest the slow log shows: root span + direct children,
+    // aggregated by name, largest cumulative time first.
+    std::map<std::string, uint64_t> tops;
+    for (const trace::SpanNode& s : trace->spans()) {
+      if (s.depth > 1) continue;
+      tops[s.name] += s.duration_ns();
+    }
+    std::vector<std::pair<std::string, uint64_t>> sorted(tops.begin(),
+                                                         tops.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (int i = 0;
+         i < obs::WideEvent::kMaxPhases &&
+         i < static_cast<int>(sorted.size());
+         ++i) {
+      obs::WideEvent::CopyInto(event.phases[i].name,
+                               obs::WideEvent::kPhaseChars, sorted[i].first);
+      event.phases[i].ns = sorted[i].second;
+    }
+  }
+  flight_.Record(event);
+  const uint64_t p99 = TailThresholdMicros(verb);
+  const bool tail =
+      event.error != 0 || (p99 > 0 && event.latency_micros > p99);
+  if (tail || flight_.ShouldHeadSample(event.request_id)) {
+    flight_.Retain(event, trace != nullptr ? trace->ToText() : std::string(),
+                   trace != nullptr ? trace->ToChromeJson() : std::string());
+  }
+}
+
+uint64_t ServiceMetrics::TailThresholdMicros(ServiceVerb verb) const {
+  const uint64_t now_sec = window_clock_();
+  std::atomic<uint64_t>& cell = tail_cache_[static_cast<int>(verb)];
+  const uint64_t packed = cell.load(std::memory_order_relaxed);
+  if (packed != 0 && (packed >> 32) == (now_sec & 0xffffffffu)) {
+    return packed & 0xffffffffu;
+  }
+  // Stale (or never computed) for this window second: aggregate the short
+  // window across regimes and cache the p99. Concurrent recomputes race
+  // benignly — both store the same second's answer.
+  const obs::WindowAggregate agg =
+      WindowFor(verb, kShortWindowSecs, kNumRegimes);
+  uint64_t p99 = agg.count() == 0 ? 0 : agg.PercentileMicros(0.99);
+  if (p99 > 0xffffffffu) p99 = 0xffffffffu;
+  // The high word is never 0 once computed (second 0 with an empty window
+  // packs to 0 and simply recomputes — harmless for one second at start).
+  cell.store(((now_sec & 0xffffffffu) << 32) | p99,
+             std::memory_order_relaxed);
+  return p99;
 }
 
 uint64_t ServiceMetrics::PhaseNanos(const std::string& phase) const {
@@ -206,6 +270,9 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   for (const auto& [site, count] : BoundSiteCounts()) {
     s.bound_sites.push_back({site, count});
   }
+  s.flight_retained = flight_.retained_total();
+  s.flight_dropped = flight_.dropped_total();
+  s.flight_arena_bytes = flight_.arena_bytes();
   const constraints::DenseOrderStats& dense =
       constraints::GlobalDenseOrderStats();
   s.dense_order_propagations =
@@ -298,7 +365,7 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   for (const SlowRequest& slow : slow_log_) {
     s.slow_log.push_back({slow.latency_micros,
                           std::string(RegimeName(slow.regime)),
-                          slow.description, slow.trace_text,
+                          slow.request_id, slow.description, slow.trace_text,
                           slow.top_phases});
   }
   return s;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/exposition.h"
+#include "obs/flight.h"
 #include "obs/window.h"
 #include "planner/plan_cache.h"
 #include "relcont/decide.h"
@@ -57,6 +58,9 @@ struct SlowRequest {
   Regime regime = Regime::kUnknown;
   /// One-line request description (queries + catalog, newline-free).
   std::string description;
+  /// The request id minted by the flight recorder (0 when recorded by a
+  /// caller outside the service), for pivoting into /requestz?id=N.
+  uint64_t request_id = 0;
   /// The EXPLAIN-style span tree of the request.
   std::string trace_text;
   /// The dominant phases of this request (root span + direct children,
@@ -187,8 +191,34 @@ class ServiceMetrics {
   /// span adds to the cumulative timer and call count of its phase (spans
   /// aggregate by name), every counter adds to the regime's totals, and
   /// the request enters the slow log if it ranks among the worst.
+  /// `request_id` tags the slow-log entry (0 = not a service request).
   void RecordTrace(Regime regime, uint64_t latency_micros,
-                   const trace::TraceContext& trace, std::string description);
+                   const trace::TraceContext& trace, std::string description,
+                   uint64_t request_id = 0);
+
+  /// The per-request flight recorder (ids, wide-event ring, retention
+  /// arena, crash black box). Lives here so every surface that already
+  /// holds the metrics — service, planner, protocol, obs server — reaches
+  /// the same recorder.
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
+
+  /// Finishes and files one request's wide event: stamps the wall-clock
+  /// timestamp, folds the trace's top phases in (when `trace` is non-null),
+  /// records the event into the ring, and applies the retention policy —
+  /// retain the full span renderings when the request errored (which
+  /// covers kBoundReached), ran slower than TailThresholdMicros(verb), or
+  /// falls on the head sample. The caller fills the identity fields
+  /// (id, verb, regime, catalog, latency, flags) first.
+  void RecordFlight(ServiceVerb verb, obs::WideEvent event,
+                    const trace::TraceContext* trace);
+
+  /// The live tail-retention threshold for `verb`: the trailing
+  /// kShortWindowSecs p99 in microseconds, all regimes folded, or 0 when
+  /// the window holds no samples (latency criterion disabled). Recomputed
+  /// lazily at most once per window-clock second and cached, so the
+  /// per-request retention decision costs one atomic load.
+  uint64_t TailThresholdMicros(ServiceVerb verb) const;
 
   uint64_t requests() const {
     return requests_.load(std::memory_order_relaxed);
@@ -310,6 +340,11 @@ class ServiceMetrics {
   std::array<std::array<std::atomic<uint64_t>, kNumTraceCounters>,
              kNumRegimes>
       counter_totals_{};
+
+  obs::FlightRecorder flight_;
+  /// Per-verb tail-threshold cache: packed {window second : 32, p99 µs
+  /// clamped to 32 bits}. Recomputed when the cached second goes stale.
+  mutable std::array<std::atomic<uint64_t>, kNumVerbs> tail_cache_{};
 
   mutable std::mutex trace_mu_;
   std::map<std::string, PhaseStat> phases_;

@@ -115,6 +115,7 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
         service_->metrics().Snapshot(service_->cache().Stats(),
                                      service_->planner().cache().Stats()));
   }
+  if (command == "REQUESTZ") return HandleRequestz(rest);
   if (command == "HELP") {
     return "CATALOG <name> VIEW <rule> [VIEW <rule>]... [PATTERN <src> "
            "<adornment>]...\n"
@@ -127,6 +128,7 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
            "[workers=N]\n"
            "EXPLAIN [JSON] [PLAN?|REWRITE?] <args as above>\n"
            "BATCH BEGIN ... BATCH END\n"
+           "REQUESTZ [<id>]\n"
            "CATALOGS | METRICS | STATUSZ | HELP\n"
            "  timeout_ms: per-request deadline; budget: max decision "
            "steps; workers: parallel scan width.\n"
@@ -285,7 +287,8 @@ std::string ServerSession::HandlePlan(const std::string& rest,
   request.bypass_cache = collect_trace;
   PlanResponse response = service_->planner().Plan(request, &planner_ctx_);
   if (!response.status.ok()) {
-    return "ERR " + response.status.ToString() + "\n";
+    return "ERR [id=" + std::to_string(response.request_id) + "] " +
+           response.status.ToString() + "\n";
   }
   std::string out = "OK plan catalog=" + request.catalog + " v" +
                     std::to_string(response.catalog_version) +
@@ -296,7 +299,9 @@ std::string ServerSession::HandlePlan(const std::string& rest,
   }
   out += response.cache_hit ? " HIT " : " MISS ";
   out += std::to_string(response.latency_micros);
-  out += "us\n";
+  out += "us id=";
+  out += std::to_string(response.request_id);
+  out += '\n';
   out += response.plan_text;
   if (collect_trace) AppendTrace(response.trace.get(), trace_json, &out);
   return out;
@@ -328,12 +333,14 @@ std::string ServerSession::HandleRewrite(const std::string& rest,
   RewriteResponse response =
       service_->planner().Rewrite(request, &planner_ctx_);
   if (!response.status.ok()) {
-    return "ERR " + response.status.ToString() + "\n";
+    return "ERR [id=" + std::to_string(response.request_id) + "] " +
+           response.status.ToString() + "\n";
   }
   std::string out = response.contained ? "YES plan" : "NO plan";
   out += response.cache_hit ? " HIT " : " MISS ";
   out += std::to_string(response.latency_micros);
-  out += "us";
+  out += "us id=";
+  out += std::to_string(response.request_id);
   if (!response.witness_text.empty()) {
     out += " witness: ";
     out += response.witness_text;
@@ -341,6 +348,30 @@ std::string ServerSession::HandleRewrite(const std::string& rest,
   out += '\n';
   if (collect_trace) AppendTrace(response.trace.get(), trace_json, &out);
   return out;
+}
+
+std::string ServerSession::HandleRequestz(const std::string& rest) {
+  if (in_batch_) {
+    return "ERR InvalidArgument: REQUESTZ is not allowed inside a batch\n";
+  }
+  // Introspection, like METRICS: mints no id and records no wide event, so
+  // REQUESTZ and GET /requestz render byte-identical documents.
+  std::vector<std::string> tokens = Tokenize(rest);
+  if (tokens.empty()) {
+    return obs::RenderRequestzListJson(service_->metrics().flight());
+  }
+  char* end = nullptr;
+  unsigned long long id = std::strtoull(tokens[0].c_str(), &end, 10);
+  if (tokens.size() > 1 || end == nullptr || *end != '\0' || id == 0) {
+    return "ERR InvalidArgument: expected REQUESTZ [<id>]\n";
+  }
+  std::optional<obs::FlightRecorder::Retained> entry =
+      service_->metrics().flight().FindRetained(id);
+  if (!entry.has_value()) {
+    return "ERR InvalidArgument: request id " + std::to_string(id) +
+           " not retained\n";
+  }
+  return obs::RenderRequestzEventJson(*entry);
 }
 
 std::string ServerSession::HandleCatalogQuery(const std::string& rest) {
@@ -464,13 +495,18 @@ std::string ServerSession::HandleBatch(const std::string& rest) {
 std::string ServerSession::RenderResponse(
     const DecisionResponse& response) const {
   if (!response.status.ok()) {
-    return "ERR " + response.status.ToString() + "\n";
+    // Service-originated errors carry the request id so a client log line
+    // correlates with the server-side retained trace (REQUESTZ <id>).
+    // Protocol-level validation errors (no id was minted) stay plain.
+    return "ERR [id=" + std::to_string(response.request_id) + "] " +
+           response.status.ToString() + "\n";
   }
   std::string out = response.contained ? "YES " : "NO ";
   out += RegimeName(response.regime);
   out += response.cache_hit ? " HIT " : " MISS ";
   out += std::to_string(response.latency_micros);
-  out += "us";
+  out += "us id=";
+  out += std::to_string(response.request_id);
   if (!response.witness_text.empty()) {
     out += " witness: ";
     out += response.witness_text;

@@ -68,6 +68,7 @@ class ServerSession {
   std::string HandleRewrite(const std::string& rest, bool collect_trace,
                             bool trace_json);
   std::string HandleCatalogQuery(const std::string& rest);
+  std::string HandleRequestz(const std::string& rest);
   std::string HandleExplain(const std::string& rest);
   std::string HandleBatch(const std::string& rest);
   std::string RenderResponse(const DecisionResponse& response) const;

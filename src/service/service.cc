@@ -110,6 +110,9 @@ ContainmentService::ContainmentService(ServiceConfig config)
       planner_(&catalogs_, &metrics_, PlannerConfigFrom(config)) {
   metrics_.set_slow_log_capacity(config.slow_log_capacity);
   metrics_.set_window_secs(config.window_secs);
+  metrics_.flight().Configure({config.flight_ring_capacity,
+                               config.flight_arena_kb * 1024,
+                               config.flight_head_sample});
   // Re-registering a catalog bumps its version, which already rotates plan
   // cache keys; the listener additionally reclaims the dead entries so a
   // churning catalog cannot crowd out live plans.
@@ -155,6 +158,7 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
   auto start = std::chrono::steady_clock::now();
   metrics_.IncInflight();
   DecisionResponse out;
+  out.request_id = metrics_.flight().NextRequestId();
   // The service owns the one budget governing this request; the library
   // sees it via the installed BudgetScope and skips its own (decide.cc).
   // Request options take precedence over the config defaults.
@@ -172,6 +176,7 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
   std::optional<trace::TraceScope> trace_scope;
   if (request.collect_trace || config_.trace_requests) {
     trace_ctx = std::make_shared<trace::TraceContext>();
+    trace_ctx->set_request_id(out.request_id);
     // Installed for this thread only; concurrent workers each install
     // their own context, so traces never interleave.
     trace_scope.emplace(trace_ctx.get());
@@ -233,9 +238,25 @@ DecisionResponse ContainmentService::Decide(const DecisionRequest& request,
                         budget.reason() == BudgetReason::kDeadline);
   if (trace_ctx != nullptr) {
     metrics_.RecordTrace(out.regime, out.latency_micros, *trace_ctx,
-                         DescribeRequest(request));
-    out.trace = std::move(trace_ctx);
+                         DescribeRequest(request), out.request_id);
   }
+  obs::WideEvent event;
+  event.request_id = out.request_id;
+  event.latency_micros = out.latency_micros;
+  event.catalog_version = out.catalog_version;
+  event.worker_count = static_cast<uint32_t>(
+      request.options.parallel_workers > 1
+          ? request.options.parallel_workers
+          : config_.default_parallel_workers);
+  event.error = out.status.ok() ? 0 : 1;
+  event.cache_hit = out.cache_hit ? 1 : 0;
+  event.bound = out.status.code() == StatusCode::kBoundReached ? 1 : 0;
+  event.set_verb("contained");
+  event.set_regime(RegimeName(out.regime));
+  event.set_catalog(request.catalog);
+  event.set_bound_site(BoundSiteFromStatus(out.status));
+  metrics_.RecordFlight(ServiceVerb::kContained, event, trace_ctx.get());
+  if (trace_ctx != nullptr) out.trace = std::move(trace_ctx);
   return out;
 }
 

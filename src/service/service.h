@@ -59,6 +59,13 @@ struct ServiceConfig {
   /// seconds (the short window is fixed at 10 s). Clamped to the window
   /// ring size (obs::WindowRing::kMaxWindowSecs).
   int window_secs = 60;
+  /// Flight-recorder sizing (src/obs/flight.h): wide-event ring slots
+  /// (rounded up to a power of two), retention-arena byte cap, and the
+  /// head-sampling period (every Nth request retained even when healthy;
+  /// 0 disables head sampling).
+  size_t flight_ring_capacity = 1024;
+  size_t flight_arena_kb = 512;
+  uint64_t flight_head_sample = 64;
 };
 
 /// One containment question. The query texts use the ParseProgram syntax
@@ -90,6 +97,10 @@ struct DecisionResponse {
   std::string witness_text;
   bool cache_hit = false;
   uint64_t latency_micros = 0;
+  /// The flight-recorder request id minted for this request; echoed on
+  /// protocol response lines (`id=N` / `ERR [id=N]`) and the key into
+  /// /requestz?id=N when the request was retained.
+  uint64_t request_id = 0;
   /// Version of the catalog the decision ran against (0 when the request
   /// failed before catalog resolution). Lets the access log attribute a
   /// decision to the exact catalog snapshot it saw.

@@ -168,7 +168,13 @@ std::string TraceContext::ToText() const {
 std::string TraceContext::ToChromeJson() const {
   // The trace_event "X" (complete) phase wants microsecond floats; emit
   // fractional microseconds from the nanosecond timestamps.
-  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  std::string out = "{\"displayTimeUnit\":\"ns\",";
+  if (request_id_ != 0) {
+    out.append("\"request_id\":");
+    out.append(std::to_string(request_id_));
+    out.push_back(',');
+  }
+  out.append("\"traceEvents\":[");
   char buf[96];
   bool first = true;
   for (const SpanNode& s : spans_) {

@@ -461,7 +461,9 @@ TEST_F(PlanVerbTest, StrictValidationAndBatchRejection) {
 
 TEST_F(PlanVerbTest, PlanHonorsBudgetWithBoundReached) {
   std::string out = session_.HandleLine("PLAN? q @c budget=1");
-  EXPECT_EQ(out.rfind("ERR BoundReached", 0), 0u) << out;
+  // Service-originated errors carry the flight-recorder request id.
+  EXPECT_EQ(out.rfind("ERR [id=", 0), 0u) << out;
+  EXPECT_NE(out.find("BoundReached"), std::string::npos) << out;
 }
 
 TEST_F(PlanVerbTest, ExplainPlanEmitsTrace) {

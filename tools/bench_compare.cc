@@ -16,7 +16,9 @@
 // files record a p99 it is gated with the same direction and threshold
 // (tail regressions hide inside a healthy median). Files without
 // percentiles — everything written before the fields existed — compare
-// exactly as before.
+// exactly as before; when the current run carries a p99 the baseline
+// lacks, a non-fatal stderr warning asks for a baseline refresh so the
+// tail gate doesn't stay silently disabled.
 //
 // Exit codes: 0 = no regression, 1 = regression (or missing metric),
 // 2 = unreadable/malformed input.
@@ -196,6 +198,15 @@ int Main(int argc, char** argv) {
                   (name + " (p99)").c_str(), base.p99, cur.p99,
                   cur.p99 / base.p99, p99_regressed ? "REGRESSED" : "ok");
       if (p99_regressed) ++regressions;
+    } else if (cur.has_p99 && !base.has_p99) {
+      // The current run records a tail the baseline predates; the p99 gate
+      // is silently off until the baseline is regenerated. Warn (non-fatal)
+      // so stale baselines get refreshed instead of hiding tail drift.
+      std::fprintf(stderr,
+                   "bench_compare: warning: %s has p99 in the current run "
+                   "but not the baseline; regenerate the baseline to gate "
+                   "the tail\n",
+                   name.c_str());
     }
   }
   for (const auto& [name, cur] : current.metrics) {

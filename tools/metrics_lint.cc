@@ -11,7 +11,12 @@
 //      of intentional text-only series like the slow log);
 //   2. every series name on either surface appears verbatim in the
 //      OBSERVABILITY.md glossary (argv[1]);
-//   3. the /statusz JSON reparses with the in-repo parser.
+//   3. the /statusz JSON reparses with the in-repo parser;
+//   4. the /requestz JSON (both the list and the per-id drill-down,
+//      rendered from a synthetic fully populated flight recorder)
+//      reparses, and every key in it appears in the OBSERVABILITY.md
+//      wide-event schema table (the chrome_trace subtree is exempt — its
+//      keys are Chrome's, documented upstream).
 //
 // Adding a counter to exposition.cc without documenting it — or renaming a
 // series on one surface but not the other — fails this binary, and it runs
@@ -77,6 +82,7 @@ MetricsSnapshot FullyPopulatedSnapshot() {
   relcont::obs::SlowEntry slow;
   slow.latency_micros = 900;
   slow.regime = "section3";
+  slow.request_id = 7;
   slow.description = "CONTAINED? q1 q2 @c";
   slow.trace_text = "decide 900us\n  regime_section3 880us";
   slow.top_phases.push_back({"decide", 900000, 1});
@@ -92,7 +98,54 @@ MetricsSnapshot FullyPopulatedSnapshot() {
   s.http_rejected_431 = 1;
   s.http_rejected_408 = 1;
   s.bound_sites.push_back({"linearization_dfs", 3});
+  s.flight_retained = 4;
+  s.flight_dropped = 1;
+  s.flight_arena_bytes = 2048;
   return s;
+}
+
+/// A flight recorder with every wide-event field populated and one fully
+/// retained entry, so both /requestz renderings (list and drill-down)
+/// emit every key they are capable of emitting.
+void PopulateFlightRecorder(relcont::obs::FlightRecorder* flight) {
+  relcont::obs::WideEvent event;
+  event.request_id = flight->NextRequestId();
+  event.ts_unix_micros = 1700000000000000;
+  event.latency_micros = 1234;
+  event.catalog_version = 3;
+  event.worker_count = 4;
+  event.error = 1;
+  event.cache_hit = 1;
+  event.traced = 1;
+  event.bound = 1;
+  event.set_verb("contained");
+  event.set_regime("section3");
+  event.set_catalog("cars");
+  event.set_bound_site("linearization_dfs");
+  relcont::obs::WideEvent::CopyInto(
+      event.phases[0].name, relcont::obs::WideEvent::kPhaseChars, "decide");
+  event.phases[0].ns = 900000;
+  flight->Record(event);
+  flight->Retain(event, "decide 900us\n  regime_section3 880us",
+                 "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+/// Collects every object key in `value`, skipping the `chrome_trace`
+/// subtree — its keys belong to the Chrome trace_event schema, documented
+/// upstream, not to OBSERVABILITY.md.
+void CollectJsonKeys(const relcont::json::Value& value,
+                     std::set<std::string>* keys) {
+  if (value.is_object()) {
+    for (const auto& [key, member] : value.object) {
+      keys->insert(key);
+      if (key == "chrome_trace") continue;
+      CollectJsonKeys(member, keys);
+    }
+  } else if (value.is_array()) {
+    for (const relcont::json::Value& member : value.array) {
+      CollectJsonKeys(member, keys);
+    }
+  }
 }
 
 /// Extracts the series name from one exposition line: the token before the
@@ -224,6 +277,44 @@ int main(int argc, char** argv) {
   auto parsed = relcont::json::Parse(statusz);
   if (!parsed.ok()) {
     fail("/statusz JSON does not reparse: " + parsed.status().ToString());
+  }
+
+  // 5. /requestz schema: render both shapes (list and drill-down) from a
+  //    fully populated recorder, reparse, and require every JSON key to
+  //    appear verbatim in the OBSERVABILITY.md schema table. A wide-event
+  //    field added to flight.cc without documenting it fails here.
+  relcont::obs::FlightRecorder flight;
+  PopulateFlightRecorder(&flight);
+  const std::string requestz_list =
+      relcont::obs::RenderRequestzListJson(flight);
+  auto retained = flight.FindRetained(1);
+  if (!retained.has_value()) {
+    fail("synthetic flight recorder lost its retained entry");
+  }
+  const std::string requestz_event =
+      retained.has_value()
+          ? relcont::obs::RenderRequestzEventJson(*retained)
+          : std::string();
+  for (const auto& [label, text_json] :
+       {std::pair<const char*, const std::string&>{"/requestz",
+                                                   requestz_list},
+        std::pair<const char*, const std::string&>{"/requestz?id=",
+                                                   requestz_event}}) {
+    if (text_json.empty()) continue;
+    auto doc_parsed = relcont::json::Parse(text_json);
+    if (!doc_parsed.ok()) {
+      fail(std::string(label) + " JSON does not reparse: " +
+           doc_parsed.status().ToString());
+      continue;
+    }
+    std::set<std::string> keys;
+    CollectJsonKeys(*doc_parsed, &keys);
+    for (const std::string& key : keys) {
+      if (doc.find(key) == std::string::npos) {
+        fail(std::string(label) + " key '" + key +
+             "' is not documented in " + std::string(argv[1]));
+      }
+    }
   }
 
   if (findings > 0) {
