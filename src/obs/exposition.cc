@@ -97,6 +97,12 @@ std::string RenderMetricsText(const MetricsSnapshot& s) {
              ULL(s.dense_order_propagations),
              ULL(s.dense_order_pruned_branches),
              ULL(s.dense_order_bound_hits));
+  AppendLine(&out,
+             "cegar_iterations_total %llu\n"
+             "cegar_blocking_clauses_total %llu\n"
+             "cegar_proposals_total %llu\n",
+             ULL(s.cegar_iterations), ULL(s.cegar_blocking_clauses),
+             ULL(s.cegar_proposals));
   for (const BoundSiteCount& site : s.bound_sites) {
     AppendLine(&out, "bound_hits_total{site=\"%s\"} %llu\n",
                site.site.c_str(), ULL(site.count));
@@ -359,6 +365,21 @@ std::string RenderPrometheusText(const MetricsSnapshot& s) {
              ULL(s.dense_order_propagations),
              ULL(s.dense_order_pruned_branches),
              ULL(s.dense_order_bound_hits));
+  AppendLine(&out,
+             "# HELP relcont_cegar_iterations_total Cover checks performed "
+             "by the CEGAR counterexample search (loop iterations).\n"
+             "# TYPE relcont_cegar_iterations_total counter\n"
+             "relcont_cegar_iterations_total %llu\n"
+             "# HELP relcont_cegar_blocking_clauses_total Blocking clauses "
+             "learned from successful covers.\n"
+             "# TYPE relcont_cegar_blocking_clauses_total counter\n"
+             "relcont_cegar_blocking_clauses_total %llu\n"
+             "# HELP relcont_cegar_proposals_total Candidate source "
+             "instances proposed by the CEGAR search (DFS leaves).\n"
+             "# TYPE relcont_cegar_proposals_total counter\n"
+             "relcont_cegar_proposals_total %llu\n",
+             ULL(s.cegar_iterations), ULL(s.cegar_blocking_clauses),
+             ULL(s.cegar_proposals));
   if (!s.bound_sites.empty()) {
     out +=
         "# HELP relcont_bound_hits_total Bound trips per budget site "
@@ -551,6 +572,11 @@ std::string RenderStatuszJson(const MetricsSnapshot& s) {
              "\"arena_bytes\":%llu}",
              ULL(s.flight_retained), ULL(s.flight_dropped),
              ULL(s.flight_arena_bytes));
+  AppendLine(&out,
+             ",\"cegar\":{\"iterations\":%llu,\"blocking_clauses\":%llu,"
+             "\"proposals\":%llu}",
+             ULL(s.cegar_iterations), ULL(s.cegar_blocking_clauses),
+             ULL(s.cegar_proposals));
   out += ",\"bound_sites\":[";
   for (size_t i = 0; i < s.bound_sites.size(); ++i) {
     if (i > 0) out += ',';

@@ -117,6 +117,12 @@ struct MetricsSnapshot {
   uint64_t dense_order_propagations = 0;
   uint64_t dense_order_pruned_branches = 0;
   uint64_t dense_order_bound_hits = 0;
+  /// Process-wide CEGAR engine counters (relcont/cegar.h): cover checks
+  /// performed, blocking clauses learned, and candidate instances
+  /// proposed by the counterexample search.
+  uint64_t cegar_iterations = 0;
+  uint64_t cegar_blocking_clauses = 0;
+  uint64_t cegar_proposals = 0;
   std::vector<RegimeDecisions> decisions_by_regime;
   CacheStats cache;
   /// Counters of the planner's plan cache (all zero without a planner).

@@ -1,0 +1,660 @@
+#include "relcont/cegar.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/budget.h"
+#include "datalog/substitution.h"
+#include "datalog/unfold.h"
+#include "rewriting/inverse_rules.h"
+#include "trace/trace.h"
+
+namespace relcont {
+
+CegarGlobalCounters& GlobalCegarCounters() {
+  static CegarGlobalCounters counters;
+  return counters;
+}
+
+namespace {
+
+constexpr std::string_view kBoundSite = "cegar_search";
+
+/// Saturating helpers for the kAuto width estimate (the true width is
+/// exponential; only "is it past the threshold" matters).
+constexpr int64_t kWidthCap = int64_t{1} << 40;
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kWidthCap / b) return kWidthCap;
+  return a * b;
+}
+
+int64_t SatAdd(int64_t a, int64_t b) {
+  return a > kWidthCap - b ? kWidthCap : a + b;
+}
+
+/// A binding environment with an undo trail. The DFS engines below bind
+/// and unbind variables millions of times per decision, so composing a
+/// fresh Substitution per node (the way the one-shot unfolder does) would
+/// dominate the runtime; here a failed branch pops back to a mark.
+///
+/// A non-null `bindable` set splits the variables into two sorts: members
+/// unify as ordinary logic variables, everything else is RIGID — it
+/// behaves like a distinct constant. The cover search uses this to give
+/// candidate instances containment-mapping semantics (candidate variables
+/// are frozen) while the right-hand plan variables stay bindable; the
+/// proposal search passes null (plain most-general unification, matching
+/// the unfolder's semantics, occurs check included).
+class Env {
+ public:
+  explicit Env(const std::unordered_set<SymbolId>* bindable = nullptr)
+      : bindable_(bindable) {}
+
+  size_t Mark() const { return trail_.size(); }
+  void Undo(size_t mark) {
+    while (trail_.size() > mark) {
+      map_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+  void Clear() {
+    map_.clear();
+    trail_.clear();
+  }
+
+  bool UnifyAtoms(const Atom& a, const Atom& b) {
+    if (a.predicate != b.predicate || a.args.size() != b.args.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      if (!Unify(a.args[i], b.args[i])) return false;
+    }
+    return true;
+  }
+
+  bool Unify(const Term& a, const Term& b) {
+    const Term& x = Walk(a);
+    const Term& y = Walk(b);
+    if (x.is_variable() && y.is_variable() && x.symbol() == y.symbol()) {
+      return true;
+    }
+    if (x.is_variable() && Bindable(x.symbol())) {
+      SymbolId v = x.symbol();
+      Term val = y;  // copy: Bind may rehash under x/y
+      if (Occurs(v, val)) return false;
+      Bind(v, std::move(val));
+      return true;
+    }
+    if (y.is_variable() && Bindable(y.symbol())) {
+      SymbolId v = y.symbol();
+      Term val = x;
+      if (Occurs(v, val)) return false;
+      Bind(v, std::move(val));
+      return true;
+    }
+    // Both sides rigid from here on: distinct rigid variables never equal
+    // each other, a rigid variable never equals a constant or function.
+    if (x.is_variable() || y.is_variable()) return false;
+    if (x.is_function() && y.is_function()) {
+      if (x.symbol() != y.symbol() || x.args().size() != y.args().size()) {
+        return false;
+      }
+      std::vector<Term> xa = x.args();  // copies: recursion may rehash
+      std::vector<Term> ya = y.args();
+      for (size_t i = 0; i < xa.size(); ++i) {
+        if (!Unify(xa[i], ya[i])) return false;
+      }
+      return true;
+    }
+    if (x.is_constant() && y.is_constant()) return x == y;
+    return false;
+  }
+
+  /// Fully applies the current bindings (chasing, recursing through
+  /// function terms). Used to materialize candidate atoms at DFS leaves.
+  Term Resolve(const Term& t) const {
+    const Term& w = Walk(t);
+    if (w.is_function()) {
+      std::vector<Term> args;
+      args.reserve(w.args().size());
+      for (const Term& a : w.args()) args.push_back(Resolve(a));
+      return Term::Function(w.symbol(), std::move(args));
+    }
+    return w;
+  }
+
+  Atom Resolve(const Atom& a) const {
+    Atom out;
+    out.predicate = a.predicate;
+    out.args.reserve(a.args.size());
+    for (const Term& t : a.args) out.args.push_back(Resolve(t));
+    return out;
+  }
+
+ private:
+  bool Bindable(SymbolId v) const {
+    return bindable_ == nullptr || bindable_->count(v) > 0;
+  }
+  const Term& Walk(const Term& t) const {
+    const Term* p = &t;
+    while (p->is_variable()) {
+      auto it = map_.find(p->symbol());
+      if (it == map_.end()) break;
+      p = &it->second;
+    }
+    return *p;
+  }
+  bool Occurs(SymbolId v, const Term& t) const {
+    const Term& w = Walk(t);
+    if (w.is_variable()) return w.symbol() == v;
+    if (w.is_function()) {
+      for (const Term& a : w.args()) {
+        if (Occurs(v, a)) return true;
+      }
+    }
+    return false;
+  }
+  void Bind(SymbolId v, Term t) {
+    map_.emplace(v, std::move(t));
+    trail_.push_back(v);
+  }
+
+  const std::unordered_set<SymbolId>* bindable_;
+  std::unordered_map<SymbolId, Term> map_;
+  std::vector<SymbolId> trail_;
+};
+
+/// One inverse-rule choice for a template body atom: a renamed-apart copy
+/// (head = mediated atom, body[0] = the source atom it produces). Copies
+/// are per (position, option) — InvertViews leaves the view's variables
+/// shared across its inverse rules, so reusing one copy at two positions
+/// would link unrelated bindings.
+struct LeftPosition {
+  Atom goal;
+  std::vector<Rule> options;
+};
+
+/// A blocking clause: "every proposal choosing exactly these options at
+/// these positions is covered". Literals ascend by position; the clause is
+/// indexed by its last position so the DFS tests it exactly once per
+/// branch, the moment the clause becomes fully assigned.
+struct Clause {
+  std::vector<std::pair<int, int>> lits;  // (position, option index)
+};
+
+struct LeftTemplate {
+  Rule rule;
+  std::vector<LeftPosition> positions;
+  /// Variable-sharing connected component per position (via the TEMPLATE
+  /// atoms' variables; option variables are per-position fresh and cannot
+  /// link positions). Proposals agreeing on a whole component produce
+  /// syntactically identical candidate atoms there — the soundness basis
+  /// for blocking-clause closure (docs/ALGORITHMS.md).
+  std::vector<int> component;
+  std::vector<char> component_touches_head;
+  int num_components = 0;
+  /// Positions with more than one inverse-rule option (the only real
+  /// choice points; the proposal DFS walks them last).
+  size_t num_branching = 0;
+};
+
+struct RightTemplate {
+  Rule rule;  // renamed apart: right variables never collide with left
+  std::vector<std::vector<Rule>> options;  // per body position
+};
+
+void ComputeComponents(LeftTemplate* t) {
+  const size_t n = t->positions.size();
+  std::vector<int> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int i) {
+    while (parent[i] != i) i = parent[i] = parent[parent[i]];
+    return i;
+  };
+  std::unordered_map<SymbolId, int> seen;
+  std::vector<SymbolId> vars;
+  for (size_t i = 0; i < n; ++i) {
+    vars.clear();
+    t->positions[i].goal.CollectVars(&vars);
+    for (SymbolId v : vars) {
+      auto [it, inserted] = seen.emplace(v, static_cast<int>(i));
+      if (!inserted) parent[find(static_cast<int>(i))] = find(it->second);
+    }
+  }
+  std::unordered_map<int, int> ids;
+  t->component.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int root = find(static_cast<int>(i));
+    auto [it, inserted] = ids.emplace(root, static_cast<int>(ids.size()));
+    t->component[i] = it->second;
+  }
+  t->num_components = static_cast<int>(ids.size());
+  t->component_touches_head.assign(t->num_components, 0);
+  vars.clear();
+  t->rule.head.CollectVars(&vars);
+  for (SymbolId v : vars) {
+    auto it = seen.find(v);
+    if (it == seen.end()) continue;  // unsafe head var; unreachable upstream
+    t->component_touches_head[t->component[find(it->second)]] = 1;
+  }
+}
+
+/// The propose/check/refine loop. One instance per decision; not
+/// thread-safe (mirrors the serial scan — parallelism lives above, in the
+/// service's per-request threads).
+class CegarSearch {
+ public:
+  CegarSearch(std::vector<LeftTemplate> left, std::vector<RightTemplate> right,
+              std::unordered_set<SymbolId> right_vars, const CegarOptions& opts,
+              CegarStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        right_vars_(std::move(right_vars)),
+        renv_(&right_vars_),
+        opts_(opts),
+        stats_(stats) {}
+
+  /// True when a counterexample was found (witness() set); false when the
+  /// proposal space was exhausted (containment holds).
+  Result<bool> Run() {
+    for (const LeftTemplate& t : left_) {
+      cur_ = &t;
+      lenv_.Clear();
+      assign_.assign(t.positions.size(), -1);
+      clauses_by_last_.assign(t.positions.size(), {});
+      template_covered_ = false;
+      RELCONT_ASSIGN_OR_RETURN(bool found, Descend(0));
+      if (found) return true;
+    }
+    return false;
+  }
+
+  const std::optional<Rule>& witness() const { return witness_; }
+
+ private:
+  Result<bool> Descend(size_t pos) {
+    const LeftTemplate& t = *cur_;
+    if (pos == t.positions.size()) return Leaf();
+    const LeftPosition& p = t.positions[pos];
+    for (int oi = 0; oi < static_cast<int>(p.options.size()); ++oi) {
+      RELCONT_RETURN_NOT_OK(BudgetChargeOr(kBoundSite));
+      size_t mark = lenv_.Mark();
+      if (lenv_.UnifyAtoms(p.goal, p.options[oi].head)) {
+        assign_[pos] = oi;
+        if (!(opts_.enable_blocking && Blocked(pos))) {
+          RELCONT_ASSIGN_OR_RETURN(bool found, Descend(pos + 1));
+          if (found) return true;
+          if (template_covered_) {
+            lenv_.Undo(mark);
+            return false;
+          }
+        }
+      }
+      lenv_.Undo(mark);
+    }
+    return false;
+  }
+
+  bool Blocked(size_t pos) const {
+    for (const Clause& c : clauses_by_last_[pos]) {
+      bool all = true;
+      for (const auto& [i, o] : c.lits) {
+        if (assign_[i] != o) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  Result<bool> Leaf() {
+    const LeftTemplate& t = *cur_;
+    ++stats_->proposals;
+    // Materialize the candidate. A surviving Skolem term means this plan
+    // disjunct can never hold on a real source instance — the scan's
+    // PlanToUnion drops it, so the proposal is skipped unchecked.
+    cand_body_.clear();
+    for (size_t i = 0; i < t.positions.size(); ++i) {
+      Atom a = lenv_.Resolve(t.positions[i].options[assign_[i]].body[0]);
+      for (const Term& arg : a.args) {
+        if (arg.ContainsFunction()) return false;
+      }
+      cand_body_.push_back(std::move(a));
+    }
+    cand_head_.clear();
+    for (const Term& arg : t.rule.head.args) {
+      Term r = lenv_.Resolve(arg);
+      if (r.ContainsFunction()) return false;
+      cand_head_.push_back(std::move(r));
+    }
+    targets_by_pred_.clear();
+    for (size_t i = 0; i < cand_body_.size(); ++i) {
+      targets_by_pred_[cand_body_[i].predicate].push_back(
+          static_cast<int>(i));
+    }
+    ++stats_->iterations;
+    RELCONT_RETURN_NOT_OK(BudgetChargeOr(kBoundSite));
+    RELCONT_ASSIGN_OR_RETURN(bool covered, Covered());
+    if (covered) {
+      if (opts_.enable_blocking) Learn();
+      return false;
+    }
+    // A completed, uncovered proposal is a definite counterexample — like
+    // the scan's first-counterexample-wins policy, it is reported even if
+    // the budget dies right after.
+    witness_.emplace(Atom(t.rule.head.predicate, cand_head_), cand_body_);
+    return true;
+  }
+
+  Result<bool> Covered() {
+    for (const RightTemplate& rt : right_) {
+      if (rt.rule.head.args.size() != cand_head_.size()) continue;
+      RELCONT_ASSIGN_OR_RETURN(bool found, CoverTemplate(rt));
+      if (found) return true;
+    }
+    return false;
+  }
+
+  Result<bool> CoverTemplate(const RightTemplate& rt) {
+    const size_t n = rt.rule.body.size();
+    // Most-constrained-first ordering: positions with the fewest live
+    // (option × target) pairs bind first. On the Theorem 3.3 family this
+    // resolves the universal variables through the e_j atoms (one live
+    // pair each) before touching the 7-way clause atoms — the difference
+    // between a linear walk and a 7^C blowup per candidate.
+    order_.clear();
+    std::vector<int> branching(n, 0);
+    for (size_t j = 0; j < n; ++j) {
+      int b = 0;
+      for (const Rule& o : rt.options[j]) {
+        auto it = targets_by_pred_.find(o.body[0].predicate);
+        if (it != targets_by_pred_.end()) {
+          b += static_cast<int>(it->second.size());
+        }
+      }
+      if (b == 0) return false;  // no candidate atom can realize position j
+      branching[j] = b;
+      order_.push_back(static_cast<int>(j));
+    }
+    std::sort(order_.begin(), order_.end(),
+              [&](int a, int b) { return branching[a] < branching[b]; });
+    renv_.Clear();
+    target_assign_.assign(n, -1);
+    return CoverDescend(rt, 0);
+  }
+
+  Result<bool> CoverDescend(const RightTemplate& rt, size_t k) {
+    if (k == order_.size()) {
+      // All body atoms realized and matched; the cover stands iff the
+      // right head equals the candidate's (head predicates are not
+      // compared, exactly like the containment-mapping check).
+      size_t mark = renv_.Mark();
+      for (size_t i = 0; i < rt.rule.head.args.size(); ++i) {
+        if (!renv_.Unify(rt.rule.head.args[i], cand_head_[i])) {
+          renv_.Undo(mark);
+          return false;
+        }
+      }
+      support_ = target_assign_;
+      return true;
+    }
+    int j = order_[k];
+    for (const Rule& o : rt.options[j]) {
+      auto targets = targets_by_pred_.find(o.body[0].predicate);
+      if (targets == targets_by_pred_.end()) continue;
+      for (int tgt : targets->second) {
+        RELCONT_RETURN_NOT_OK(BudgetChargeOr(kBoundSite));
+        size_t mark = renv_.Mark();
+        // Resolution (template atom vs. inverse-rule head — Skolem
+        // cancellation happens here) followed by the rigid match of the
+        // produced source atom against the candidate atom.
+        if (renv_.UnifyAtoms(rt.rule.body[j], o.head) &&
+            renv_.UnifyAtoms(o.body[0], cand_body_[tgt])) {
+          target_assign_[j] = tgt;
+          RELCONT_ASSIGN_OR_RETURN(bool found, CoverDescend(rt, k + 1));
+          if (found) return true;
+        }
+        renv_.Undo(mark);
+      }
+    }
+    return false;
+  }
+
+  void Learn() {
+    const LeftTemplate& t = *cur_;
+    // Closure: the cover inspected the support atoms and the head, whose
+    // contents are determined by the option choices on their variable-
+    // sharing components. Any proposal agreeing there reproduces them
+    // verbatim, so the same cover applies — block it.
+    std::vector<char> mark(t.component_touches_head.begin(),
+                           t.component_touches_head.end());
+    for (int tgt : support_) mark[t.component[tgt]] = 1;
+    Clause c;
+    size_t branching_pinned = 0;
+    for (size_t i = 0; i < t.positions.size(); ++i) {
+      // Single-option positions carry the same choice in every proposal —
+      // their literal always matches, so it is implied and dropped.
+      if (t.positions[i].options.size() <= 1) continue;
+      if (mark[t.component[i]]) {
+        c.lits.emplace_back(static_cast<int>(i), assign_[i]);
+        ++branching_pinned;
+      }
+    }
+    if (c.lits.empty()) {
+      // The cover used nothing choice-dependent: every proposal of this
+      // template is covered the same way.
+      ++stats_->blocking_clauses;
+      template_covered_ = true;
+      return;
+    }
+    if (branching_pinned == t.num_branching) {
+      // The clause pins EVERY branching position, i.e. it denotes exactly
+      // the one leaf the DFS just left and can never fire again. Storing
+      // it would make Blocked() quadratic in the proposal count (the
+      // Theorem 3.3 family hits exactly this: each cover's closure spans
+      // the whole candidate) for zero pruning.
+      return;
+    }
+    ++stats_->blocking_clauses;
+    clauses_by_last_[c.lits.back().first].push_back(std::move(c));
+  }
+
+  std::vector<LeftTemplate> left_;
+  std::vector<RightTemplate> right_;
+  std::unordered_set<SymbolId> right_vars_;
+
+  Env lenv_;                 // proposal side: plain unification
+  Env renv_;                 // cover side: candidate terms rigid
+  const LeftTemplate* cur_ = nullptr;
+  std::vector<int> assign_;  // option choice per left position
+  std::vector<std::vector<Clause>> clauses_by_last_;
+  bool template_covered_ = false;
+
+  std::vector<Atom> cand_body_;
+  std::vector<Term> cand_head_;
+  std::unordered_map<SymbolId, std::vector<int>> targets_by_pred_;
+  std::vector<int> order_;
+  std::vector<int> target_assign_;
+  std::vector<int> support_;
+
+  CegarOptions opts_;
+  CegarStats* stats_;
+  std::optional<Rule> witness_;
+};
+
+Result<RelativeContainmentResult> ScanFallback(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options) {
+  RelativeContainmentOptions scan = options;
+  scan.strategy = ContainmentStrategy::kScan;
+  return RelativelyContained(q1, q2, views, interner, scan);
+}
+
+Result<RelativeContainmentResult> CegarImpl(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options,
+    CegarStats* stats) {
+  std::vector<LeftTemplate> left;
+  std::vector<RightTemplate> right;
+  std::unordered_set<SymbolId> right_vars;
+  int64_t estimate = 0;
+  {
+    RELCONT_TRACE_SPAN("build_plans");
+    // Validation parity with the scan: MaximallyContainedPlan performs the
+    // Section 3 input checks (safety, comparison-free, mediated schema
+    // only) for both queries and returns the inverse rules embedded in the
+    // plan program, so error cases answer identically to the scan.
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p1, MaximallyContainedPlan(q1.program, views, interner));
+    RELCONT_ASSIGN_OR_RETURN(
+        Program p2, MaximallyContainedPlan(q2.program, views, interner));
+    (void)p2;
+
+    std::set<SymbolId> sources = views.SourcePredicates();
+    std::set<SymbolId> mediated = views.MediatedPredicates();
+    // Factorization precondition: a query IDB colliding with a catalog
+    // predicate would resolve against BOTH definitions in the joint
+    // unfold; the two-level factorization cannot mirror that, so the scan
+    // decides (identical verdict by construction).
+    for (const Program* prog : {&q1.program, &q2.program}) {
+      for (SymbolId idb : prog->IdbPredicates()) {
+        if (mediated.count(idb) > 0 || sources.count(idb) > 0) {
+          return ScanFallback(q1, q2, views, interner, options);
+        }
+      }
+    }
+
+    RELCONT_ASSIGN_OR_RETURN(
+        UnionQuery t1,
+        UnfoldToUnion(q1.program, q1.goal, interner, options.unfold));
+    RELCONT_ASSIGN_OR_RETURN(
+        UnionQuery t2,
+        UnfoldToUnion(q2.program, q2.goal, interner, options.unfold));
+
+    std::unordered_map<SymbolId, std::vector<const Rule*>> inv_by_pred;
+    for (const Rule& r : p1.rules) {
+      if (r.body.size() == 1 && sources.count(r.body[0].predicate) > 0) {
+        inv_by_pred[r.head.predicate].push_back(&r);
+      }
+    }
+
+    for (const Rule& d : t1.disjuncts) {
+      LeftTemplate lt;
+      lt.rule = d;
+      bool answerable = true;
+      int64_t width = 1;
+      for (const Atom& a : d.body) {
+        LeftPosition pos;
+        pos.goal = a;
+        auto it = inv_by_pred.find(a.predicate);
+        if (it != inv_by_pred.end()) {
+          for (const Rule* r : it->second) {
+            pos.options.push_back(RenameApart(*r, interner));
+          }
+        }
+        if (pos.options.empty()) {
+          // A mediated atom no source covers: the whole template is
+          // unanswerable (PlanToUnion drops these disjuncts).
+          answerable = false;
+          break;
+        }
+        width = SatMul(width, static_cast<int64_t>(pos.options.size()));
+        lt.positions.push_back(std::move(pos));
+      }
+      if (!answerable) continue;
+      // Deterministic (single-option) positions first: the DFS then
+      // resolves them once as a shared prefix instead of re-unifying them
+      // under every combination of the real choice points. Stable, so the
+      // enumeration order — and with it the reported witness — stays
+      // deterministic.
+      std::stable_partition(
+          lt.positions.begin(), lt.positions.end(),
+          [](const LeftPosition& p) { return p.options.size() <= 1; });
+      for (const LeftPosition& p : lt.positions) {
+        if (p.options.size() > 1) ++lt.num_branching;
+      }
+      ComputeComponents(&lt);
+      estimate = SatAdd(estimate, width);
+      left.push_back(std::move(lt));
+    }
+
+    if (options.strategy == ContainmentStrategy::kAuto &&
+        estimate < options.cegar.auto_width_threshold) {
+      return ScanFallback(q1, q2, views, interner, options);
+    }
+
+    for (const Rule& d : t2.disjuncts) {
+      RightTemplate rt;
+      rt.rule = RenameApart(d, interner);
+      bool feasible = true;
+      for (const Atom& a : rt.rule.body) {
+        std::vector<Rule> opts;
+        auto it = inv_by_pred.find(a.predicate);
+        if (it != inv_by_pred.end()) {
+          for (const Rule* r : it->second) {
+            opts.push_back(RenameApart(*r, interner));
+          }
+        }
+        if (opts.empty()) {
+          feasible = false;
+          break;
+        }
+        rt.options.push_back(std::move(opts));
+      }
+      if (!feasible) continue;
+      for (SymbolId v : rt.rule.Variables()) right_vars.insert(v);
+      for (const auto& opts : rt.options) {
+        for (const Rule& r : opts) {
+          for (SymbolId v : r.Variables()) right_vars.insert(v);
+        }
+      }
+      right.push_back(std::move(rt));
+    }
+  }
+
+  RELCONT_TRACE_SPAN("cegar_search");
+  CegarSearch search(std::move(left), std::move(right), std::move(right_vars),
+                     options.cegar, stats);
+  RELCONT_ASSIGN_OR_RETURN(bool found, search.Run());
+  RelativeContainmentResult out;
+  out.contained = !found;
+  if (found) out.witness = search.witness();
+  // plan1/plan2 stay empty by design: the engine never materializes them.
+  return out;
+}
+
+}  // namespace
+
+Result<RelativeContainmentResult> CegarRelativelyContained(
+    const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
+    Interner* interner, const RelativeContainmentOptions& options,
+    CegarStats* stats) {
+  CegarStats local;
+  Result<RelativeContainmentResult> out =
+      CegarImpl(q1, q2, views, interner, options, &local);
+  // Publish on EVERY exit path — a budget-tripped run still accounts for
+  // the proposals and checks it performed (the budget-trip property test
+  // pins trace deltas against these numbers).
+  if (stats != nullptr) *stats = local;
+  RELCONT_TRACE_COUNT(kCegarIterations, local.iterations);
+  RELCONT_TRACE_COUNT(kCegarBlockingClauses, local.blocking_clauses);
+  RELCONT_TRACE_COUNT(kCegarProposals, local.proposals);
+  CegarGlobalCounters& g = GlobalCegarCounters();
+  g.iterations.fetch_add(local.iterations, std::memory_order_relaxed);
+  g.blocking_clauses.fetch_add(local.blocking_clauses,
+                               std::memory_order_relaxed);
+  g.proposals.fetch_add(local.proposals, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace relcont

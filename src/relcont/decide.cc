@@ -138,6 +138,7 @@ Result<Decision> DecideRelativeContainment(
   RelativeContainmentOptions rel_opts;
   rel_opts.unfold = options.unfold;
   rel_opts.parallel_workers = options.parallel_workers;
+  rel_opts.strategy = options.strategy;
   RELCONT_ASSIGN_OR_RETURN(
       RelativeContainmentResult r,
       RelativelyContained(q1, q2, views, interner, rel_opts));

@@ -46,6 +46,11 @@ struct DecideOptions {
   /// section3/theorem51/theorem52 regimes; <= 1 = serial. Parallelism
   /// changes the verdict never and the reported witness sometimes.
   int parallel_workers = 1;
+  /// Engine for the section3 regime (the other regimes always scan). The
+  /// service front door defaults to kAuto — narrow instances keep the
+  /// scan, wide ones get the CEGAR search (relcont/cegar.h). Exposed on
+  /// the wire as `strategy=cegar|scan|auto` (docs/SERVICE.md).
+  ContainmentStrategy strategy = ContainmentStrategy::kAuto;
 };
 
 /// Which part of the paper decided a containment question.

@@ -7,11 +7,32 @@
 #include "containment/comparison_containment.h"
 #include "containment/cq_containment.h"
 #include "containment/expansion.h"
+#include "relcont/cegar.h"
 #include "rewriting/comparison_plans.h"
 #include "rewriting/inverse_rules.h"
 #include "trace/trace.h"
 
 namespace relcont {
+
+std::string_view ContainmentStrategyName(ContainmentStrategy s) {
+  switch (s) {
+    case ContainmentStrategy::kScan:
+      return "scan";
+    case ContainmentStrategy::kCegar:
+      return "cegar";
+    case ContainmentStrategy::kAuto:
+      return "auto";
+  }
+  return "scan";
+}
+
+std::optional<ContainmentStrategy> ParseContainmentStrategy(
+    std::string_view name) {
+  if (name == "scan") return ContainmentStrategy::kScan;
+  if (name == "cegar") return ContainmentStrategy::kCegar;
+  if (name == "auto") return ContainmentStrategy::kAuto;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -95,6 +116,11 @@ Result<std::optional<size_t>> FindUncoveredDisjunct(
 Result<RelativeContainmentResult> RelativelyContained(
     const GoalQuery& q1, const GoalQuery& q2, const ViewSet& views,
     Interner* interner, const RelativeContainmentOptions& options) {
+  if (options.strategy != ContainmentStrategy::kScan) {
+    // kCegar and kAuto route through the CEGAR engine (which itself
+    // delegates narrow instances back here with strategy forced to kScan).
+    return CegarRelativelyContained(q1, q2, views, interner, options);
+  }
   RelativeContainmentResult out;
   {
     RELCONT_TRACE_SPAN("build_plans");

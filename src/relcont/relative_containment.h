@@ -1,6 +1,9 @@
 #ifndef RELCONT_RELCONT_RELATIVE_CONTAINMENT_H_
 #define RELCONT_RELCONT_RELATIVE_CONTAINMENT_H_
 
+#include <optional>
+#include <string_view>
+
 #include "datalog/unfold.h"
 #include "rewriting/views.h"
 
@@ -23,6 +26,46 @@ struct GoalQuery {
   SymbolId goal = kInvalidSymbol;
 };
 
+/// Which engine runs the Section 3 plan comparison.
+enum class ContainmentStrategy : int {
+  /// Materialize both UCQ plans and scan every left disjunct against the
+  /// full right union (the Theorem 3.1 procedure as written; parallelized
+  /// per disjunct).
+  kScan = 0,
+  /// Counterexample-guided search (relcont/cegar.h): propose candidate
+  /// source instances from a factored left plan, check cover on demand,
+  /// learn blocking clauses. Identical verdicts; cheaper by roughly the
+  /// right plan's width on wide instances; does NOT materialize the plans
+  /// (RelativeContainmentResult::plan1/plan2 stay empty).
+  kCegar,
+  /// Estimate the left plan width and pick: kCegar at or above
+  /// CegarOptions::auto_width_threshold, kScan below it.
+  kAuto,
+};
+
+/// Short stable name ("scan", "cegar", "auto") for the protocol option and
+/// the service cache fingerprint.
+std::string_view ContainmentStrategyName(ContainmentStrategy s);
+
+/// Parses the names produced by ContainmentStrategyName; nullopt on no
+/// match (protocol callers reject the token with the valid spellings).
+std::optional<ContainmentStrategy> ParseContainmentStrategy(
+    std::string_view name);
+
+/// Knobs for the CEGAR engine (see relcont/cegar.h).
+struct CegarOptions {
+  /// Learn a blocking clause from every successful cover and prune later
+  /// proposals it subsumes. Turning this off never changes a verdict —
+  /// the property tests rely on that (blocking-soundness seam); it only
+  /// costs extra cover checks.
+  bool enable_blocking = true;
+  /// Left plan-width estimate at or above which kAuto picks the CEGAR
+  /// engine. 2^9: the measured scan/cegar crossover on the Theorem 3.3
+  /// family sits near 2^10 plan disjuncts (see EXPERIMENTS.md), and the
+  /// estimate is an upper bound on the real width.
+  int64_t auto_width_threshold = 512;
+};
+
 struct RelativeContainmentOptions {
   UnfoldOptions unfold;
   /// Fan-out width for the per-disjunct containment checks (the Π₂ᴾ hot
@@ -33,6 +76,13 @@ struct RelativeContainmentOptions {
   /// Plan construction (which touches the interner) always stays on the
   /// calling thread.
   int parallel_workers = 1;
+  /// Engine for the Section 3 check. The library default stays kScan so
+  /// direct callers (oracles, differential baselines) keep the exact
+  /// pipeline they had; the service front door (DecideOptions) defaults
+  /// to kAuto. Only the Section 3 regime honors this — the Theorem
+  /// 3.2/5.1/5.2 routes always scan.
+  ContainmentStrategy strategy = ContainmentStrategy::kScan;
+  CegarOptions cegar;
 };
 
 /// Detailed outcome of a relative-containment decision.

@@ -5,6 +5,7 @@
 
 #include "common/budget.h"
 #include "constraints/dense_order.h"
+#include "relcont/cegar.h"
 #include "relcont/version.h"
 
 namespace relcont {
@@ -280,6 +281,11 @@ obs::MetricsSnapshot ServiceMetrics::Snapshot(
   s.dense_order_pruned_branches =
       dense.pruned_branches.load(std::memory_order_relaxed);
   s.dense_order_bound_hits = dense.bound_hits.load(std::memory_order_relaxed);
+  const CegarGlobalCounters& cegar = GlobalCegarCounters();
+  s.cegar_iterations = cegar.iterations.load(std::memory_order_relaxed);
+  s.cegar_blocking_clauses =
+      cegar.blocking_clauses.load(std::memory_order_relaxed);
+  s.cegar_proposals = cegar.proposals.load(std::memory_order_relaxed);
   for (int i = 0; i < kNumRegimes; ++i) {
     Regime regime = static_cast<Regime>(i);
     uint64_t count = RegimeCount(regime);

@@ -1,6 +1,7 @@
 #include "service/protocol.h"
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 
 #include "common/json.h"
@@ -37,8 +38,9 @@ std::string JoinFrom(const std::vector<std::string>& tokens, size_t begin,
 
 /// Pops trailing `key=value` budget options off `tokens` and applies them
 /// to `options`. Recognized keys: timeout_ms (per-request deadline),
-/// budget (max decision steps), workers (parallel scan width). Returns a
-/// newline-terminated "ERR ..." line on a malformed option, "" on success.
+/// budget (max decision steps), workers (parallel scan width), strategy
+/// (section3 engine: cegar, scan, or auto). Returns a newline-terminated
+/// "ERR ..." line on a malformed option, "" on success.
 std::string ConsumeBudgetOptions(std::vector<std::string>* tokens,
                                  DecideOptions* options) {
   while (!tokens->empty() &&
@@ -47,6 +49,18 @@ std::string ConsumeBudgetOptions(std::vector<std::string>* tokens,
     size_t eq = token.find('=');
     std::string key = token.substr(0, eq);
     std::string value = token.substr(eq + 1);
+    if (key == "strategy") {
+      // The one string-valued option; handled before the integer parse.
+      std::optional<ContainmentStrategy> strategy =
+          ParseContainmentStrategy(value);
+      if (!strategy.has_value()) {
+        return "ERR InvalidArgument: option 'strategy' must be cegar, "
+               "scan, or auto, got '" + value + "'\n";
+      }
+      options->strategy = *strategy;
+      tokens->pop_back();
+      continue;
+    }
     char* end = nullptr;
     long long parsed = std::strtoll(value.c_str(), &end, 10);
     if (value.empty() || end == nullptr || *end != '\0' || parsed <= 0) {
@@ -61,7 +75,7 @@ std::string ConsumeBudgetOptions(std::vector<std::string>* tokens,
       options->parallel_workers = static_cast<int>(parsed);
     } else {
       return "ERR InvalidArgument: unknown option '" + key +
-             "' — try timeout_ms=, budget=, or workers=\n";
+             "' — try timeout_ms=, budget=, workers=, or strategy=\n";
     }
     tokens->pop_back();
   }
@@ -122,16 +136,18 @@ std::string ServerSession::HandleLine(const std::string& raw_line) {
            "CATALOG? [<name>]\n"
            "DEFINE <name> <rule> [<rule>]...\n"
            "CONTAINED? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
-           "[workers=N]\n"
+           "[workers=N] [strategy=cegar|scan|auto]\n"
            "PLAN? <q> @<catalog> [timeout_ms=N] [budget=N] [workers=N]\n"
            "REWRITE? <q1> <q2> @<catalog> [timeout_ms=N] [budget=N] "
-           "[workers=N]\n"
+           "[workers=N] [strategy=cegar|scan|auto]\n"
            "EXPLAIN [JSON] [PLAN?|REWRITE?] <args as above>\n"
            "BATCH BEGIN ... BATCH END\n"
            "REQUESTZ [<id>]\n"
            "CATALOGS | METRICS | STATUSZ | HELP\n"
            "  timeout_ms: per-request deadline; budget: max decision "
-           "steps; workers: parallel scan width.\n"
+           "steps; workers: parallel scan width;\n"
+           "  strategy: section3 engine (default auto — CEGAR search on "
+           "wide plans, scan otherwise).\n"
            "  A request past its bound answers ERR BoundReached (not a "
            "verdict).\n";
   }

@@ -45,6 +45,11 @@ std::string OptionsFingerprint(const DecideOptions& o) {
   out += std::to_string(o.dom.max_disjunct_size);
   out += ',';
   out += std::to_string(o.dom.unfold.max_disjuncts);
+  out += ',';
+  // The strategy never changes a verdict (cegar ≡ scan by construction),
+  // but the reported witness may differ, so cached answers are kept
+  // per-engine.
+  out += ContainmentStrategyName(o.strategy);
   return out;
 }
 

@@ -80,6 +80,12 @@ std::string_view CounterName(Counter c) {
       return "planner_plans_built";
     case Counter::kPlannerPlanRules:
       return "planner_plan_rules";
+    case Counter::kCegarIterations:
+      return "cegar_iterations";
+    case Counter::kCegarBlockingClauses:
+      return "cegar_blocking_clauses";
+    case Counter::kCegarProposals:
+      return "cegar_proposals";
     case Counter::kBoundHits:
       return "bound_hits";
     case Counter::kParallelTasksSpawned:

@@ -13,6 +13,13 @@
 //     comparison-aware certain-answer oracle.
 //   * Section 6 CWA: every refutation the closed-world refuter reports is
 //     re-verified against the independent brute-force oracle.
+//   * CEGAR (three sub-sweeps): the counterexample-guided engine
+//     (relcont/cegar.h) must return the serial scan's verdict — and the
+//     parallel scan's — on random Section 3 triples (narrow and wide
+//     vocabularies) and on the Theorem 3.3 QBF family, where all engines
+//     are additionally pinned to the ∀∃-satisfiability oracle. Every CEGAR
+//     NO is re-verified the same way as the scan's: the witness instance
+//     carries a Q1 certain answer that Q2 does not.
 //
 // Every failure message carries the seed; replay one case with
 //   RELCONT_DIFF_SEED=<seed> ./build/tests/differential_test
@@ -28,8 +35,10 @@
 #include <gtest/gtest.h>
 
 #include "datalog/substitution.h"
+#include "relcont/cegar.h"
 #include "relcont/certain_answers.h"
 #include "relcont/cwa.h"
+#include "relcont/pi2p_reduction.h"
 #include "relcont/relative_containment.h"
 #include "relcont/workload.h"
 
@@ -347,6 +356,158 @@ TEST(DifferentialTest, CwaRefutationsVerifiedByBruteForce) {
   if (ReplaySeedFromEnv() == std::nullopt) {
     EXPECT_GT(refutations, 0);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fragment 4: CEGAR vs the scans, three sub-sweeps (3 x RELCONT_DIFF_CASES).
+// ---------------------------------------------------------------------------
+
+/// Decides the triple with all three engines — serial scan, 4-way parallel
+/// scan, CEGAR — asserts verdict (and status-code) agreement, re-verifies
+/// CEGAR NO witnesses semantically, and reports the agreed verdict.
+/// Returns nullopt when every engine erred identically (counted a skip).
+std::optional<bool> DecideAllEngines(const RandomTriple& t,
+                                     Interner* interner, uint64_t seed,
+                                     int* decided, int* refuted,
+                                     int* skipped) {
+  Result<RelativeContainmentResult> serial =
+      RelativelyContained(t.q1, t.q2, t.views, interner);
+  RelativeContainmentOptions par_options;
+  par_options.parallel_workers = 4;
+  Result<RelativeContainmentResult> parallel =
+      RelativelyContained(t.q1, t.q2, t.views, interner, par_options);
+  RelativeContainmentOptions cegar_options;
+  cegar_options.strategy = ContainmentStrategy::kCegar;
+  CegarStats stats;
+  Result<RelativeContainmentResult> cegar = CegarRelativelyContained(
+      t.q1, t.q2, t.views, interner, cegar_options, &stats);
+
+  EXPECT_EQ(parallel.ok(), serial.ok()) << ReplayHint(seed);
+  EXPECT_EQ(cegar.ok(), serial.ok()) << ReplayHint(seed);
+  if (!serial.ok() || !parallel.ok() || !cegar.ok()) {
+    if (!serial.ok() && !cegar.ok()) {
+      EXPECT_EQ(cegar.status().code(), serial.status().code())
+          << serial.status().ToString() << " vs "
+          << cegar.status().ToString() << "\n"
+          << ReplayHint(seed);
+    }
+    ++*skipped;
+    return std::nullopt;
+  }
+  EXPECT_EQ(parallel->contained, serial->contained) << ReplayHint(seed);
+  EXPECT_EQ(cegar->contained, serial->contained) << ReplayHint(seed);
+  // Every completed CEGAR run checked each proposal it did not prune.
+  EXPECT_LE(stats.iterations, stats.proposals) << ReplayHint(seed);
+  ++*decided;
+
+  if (!cegar->contained) {
+    // The CEGAR witness is re-verified on its own merits (it generally
+    // differs from the scan's): its frozen instance must carry a Q1
+    // certain answer that is not a Q2 certain answer.
+    EXPECT_TRUE(cegar->witness.has_value()) << ReplayHint(seed);
+    if (cegar->witness.has_value()) {
+      FrozenWitness w = FreezeWitness(*cegar->witness, interner);
+      Result<std::vector<Tuple>> c1 = CertainAnswers(
+          t.q1.program, t.q1.goal, t.views, w.instance, interner);
+      Result<std::vector<Tuple>> c2 = CertainAnswers(
+          t.q2.program, t.q2.goal, t.views, w.instance, interner);
+      EXPECT_TRUE(c1.ok()) << c1.status().ToString() << "\n"
+                           << ReplayHint(seed);
+      EXPECT_TRUE(c2.ok()) << c2.status().ToString() << "\n"
+                           << ReplayHint(seed);
+      if (c1.ok() && c2.ok()) {
+        EXPECT_NE(std::find(c1->begin(), c1->end(), w.head), c1->end())
+            << ReplayHint(seed);
+        EXPECT_EQ(std::find(c2->begin(), c2->end(), w.head), c2->end())
+            << ReplayHint(seed);
+        ++*refuted;
+      }
+    }
+  }
+  return serial->contained;
+}
+
+TEST(DifferentialTest, CegarMatchesScansOnSection3) {
+  int decided = 0, refuted = 0, skipped = 0;
+  ForEachCase(4'000'000, [&](uint64_t seed) {
+    Interner interner;
+    RandomTriple t = MakeTriple(CaseOptions(seed), /*num_views=*/3, &interner);
+    if (t.views.empty() ||
+        t.q1.program.rules[0].head.arity() !=
+            t.q2.program.rules[0].head.arity()) {
+      ++skipped;
+      return;
+    }
+    DecideAllEngines(t, &interner, seed, &decided, &refuted, &skipped);
+  });
+  RecordProperty("decided", decided);
+  RecordProperty("refuted", refuted);
+  RecordProperty("skipped", skipped);
+  EXPECT_GT(decided, skipped);
+}
+
+TEST(DifferentialTest, CegarMatchesScansOnWideSection3) {
+  int decided = 0, refuted = 0, skipped = 0;
+  ForEachCase(5'000'000, [&](uint64_t seed) {
+    Interner interner;
+    // A wider vocabulary than the base sweep: more atoms and views means
+    // several inverse-rule options per template position, so the CEGAR
+    // proposal DFS genuinely branches and blocking clauses actually fire.
+    RandomQueryOptions options = CaseOptions(seed);
+    options.num_atoms = 3;
+    options.num_predicates = 2;
+    options.num_variables = 4;
+    RandomTriple t = MakeTriple(options, /*num_views=*/5, &interner);
+    if (t.views.empty() ||
+        t.q1.program.rules[0].head.arity() !=
+            t.q2.program.rules[0].head.arity()) {
+      ++skipped;
+      return;
+    }
+    std::optional<bool> verdict =
+        DecideAllEngines(t, &interner, seed, &decided, &refuted, &skipped);
+    if (!verdict.has_value()) return;
+    // Dispatch coverage: kAuto must agree whichever engine it picks.
+    RelativeContainmentOptions auto_options;
+    auto_options.strategy = ContainmentStrategy::kAuto;
+    Result<RelativeContainmentResult> chosen =
+        RelativelyContained(t.q1, t.q2, t.views, &interner, auto_options);
+    ASSERT_TRUE(chosen.ok()) << chosen.status().ToString() << "\n"
+                             << ReplayHint(seed);
+    EXPECT_EQ(chosen->contained, *verdict) << ReplayHint(seed);
+  });
+  RecordProperty("decided", decided);
+  RecordProperty("refuted", refuted);
+  RecordProperty("skipped", skipped);
+  EXPECT_GT(decided, skipped);
+}
+
+TEST(DifferentialTest, CegarMatchesScansAndQbfOracleOnPi2pFamily) {
+  int decided = 0, refuted = 0, skipped = 0;
+  ForEachCase(6'000'000, [&](uint64_t seed) {
+    Interner interner;
+    // The Theorem 3.3 family: F is ∀∃-satisfiable iff q2 ⊑_V q1, so every
+    // engine is pinned against an independent closed-form oracle, not just
+    // against each other. m stays small — the scan is the slow side.
+    int num_forall = 1 + static_cast<int>(seed % 5);
+    QbfFormula f = RandomQbf(/*num_exists=*/3, num_forall,
+                             /*num_clauses=*/4, seed);
+    Result<Pi2pInstance> inst = BuildPi2pReduction(f, &interner);
+    ASSERT_TRUE(inst.ok()) << inst.status().ToString() << "\n"
+                           << ReplayHint(seed);
+    RandomTriple t;
+    t.q1 = inst->q2;
+    t.q2 = inst->q1;
+    t.views = inst->views;
+    std::optional<bool> verdict =
+        DecideAllEngines(t, &interner, seed, &decided, &refuted, &skipped);
+    ASSERT_TRUE(verdict.has_value()) << ReplayHint(seed);
+    EXPECT_EQ(*verdict, ForallExistsSatisfiable(f)) << ReplayHint(seed);
+  });
+  RecordProperty("decided", decided);
+  RecordProperty("refuted", refuted);
+  RecordProperty("skipped", skipped);
+  EXPECT_GT(decided, skipped);
 }
 
 }  // namespace

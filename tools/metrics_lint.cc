@@ -63,6 +63,9 @@ MetricsSnapshot FullyPopulatedSnapshot() {
   s.dense_order_propagations = 5;
   s.dense_order_pruned_branches = 6;
   s.dense_order_bound_hits = 7;
+  s.cegar_iterations = 8;
+  s.cegar_blocking_clauses = 9;
+  s.cegar_proposals = 10;
   s.decisions_by_regime.push_back({"section3", 5});
   s.cache.hits = 2;
   s.cache.misses = 8;
@@ -273,10 +276,35 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 4. The /statusz rendering must reparse with the in-repo JSON parser.
+  // 4. The /statusz rendering must reparse with the in-repo JSON parser,
+  //    and the engine counter groups that METRICS/Prometheus carry must be
+  //    present there too — /statusz is the third surface, and a counter
+  //    group added to exposition.cc's text renderers but not the JSON one
+  //    (or vice versa) fails here.
   auto parsed = relcont::json::Parse(statusz);
   if (!parsed.ok()) {
     fail("/statusz JSON does not reparse: " + parsed.status().ToString());
+  } else {
+    auto find_member = [](const relcont::json::Value& value,
+                          const std::string& key)
+        -> const relcont::json::Value* {
+      for (const auto& [name, member] : value.object) {
+        if (name == key) return &member;
+      }
+      return nullptr;
+    };
+    const relcont::json::Value* cegar = find_member(*parsed, "cegar");
+    if (cegar == nullptr || !cegar->is_object()) {
+      fail("/statusz JSON lacks the 'cegar' counter object");
+    } else {
+      for (const char* key :
+           {"iterations", "blocking_clauses", "proposals"}) {
+        if (find_member(*cegar, key) == nullptr) {
+          fail(std::string("/statusz 'cegar' object lacks key '") + key +
+               "'");
+        }
+      }
+    }
   }
 
   // 5. /requestz schema: render both shapes (list and drill-down) from a
